@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation A5: backtracking budget sensitivity (Rau's budget
+ * ratio). The paper reports DMS and IMS backtracking frequencies
+ * are "of the same order"; this bench quantifies II and
+ * scheduling-effort as the budget shrinks and grows.
+ */
+
+#include <cstdio>
+
+#include "eval/figures.h"
+
+int
+main()
+{
+    using namespace dms;
+    int count = suiteCountFromEnv(300);
+    std::vector<Loop> suite = standardSuite(kSuiteSeed, count);
+    auto set1 = selectSet(suite, LoopSet::Set1);
+    std::printf("ablation A5 (budget): %zu loops, 6 clusters\n",
+                suite.size());
+
+    Table t("A5: budget ratio vs II and scheduling effort");
+    t.header({"budget_ratio", "avg_II_dms", "avg_II_ims",
+              "avg_attempts_dms"});
+    for (int ratio : {1, 2, 4, 6, 12, 24}) {
+        DmsParams dp;
+        dp.budgetRatio = ratio;
+        SchedParams ip;
+        ip.budgetRatio = ratio;
+
+        double ii_d = 0.0;
+        double ii_i = 0.0;
+        double att = 0.0;
+        int n = 0;
+        for (size_t i : set1) {
+            LoopRun d = runLoopClustered(suite[i], 6, dp, true);
+            LoopRun u = runLoopUnclustered(suite[i], 6, ip, true);
+            if (!d.ok || !u.ok)
+                continue;
+            ii_d += d.ii;
+            ii_i += u.ii;
+            att += d.ii - d.mii + 1;
+            ++n;
+        }
+        t.row({Table::num(ratio), Table::num(ii_d / n),
+               Table::num(ii_i / n), Table::num(att / n)});
+    }
+    t.print();
+    return 0;
+}

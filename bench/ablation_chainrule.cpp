@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation A3: the chain-direction selection rule. The paper picks
+ * the option "that maximizes the number of free slots left
+ * available to schedule move operations in any cluster", ties
+ * broken by fewest moves; the ablation compares against a naive
+ * shortest-path-only rule.
+ */
+
+#include <cstdio>
+
+#include "eval/figures.h"
+
+int
+main()
+{
+    using namespace dms;
+    int count = suiteCountFromEnv(300);
+    std::vector<Loop> suite = standardSuite(kSuiteSeed, count);
+    auto set1 = selectSet(suite, LoopSet::Set1);
+    std::printf("ablation A3 (chain rule): %zu loops\n",
+                suite.size());
+
+    Table t("A3: max-free-slots (paper) vs shortest-path chains");
+    t.header({"clusters", "avg_II_maxfree", "avg_II_shortest",
+              "maxfree_wins", "shortest_wins"});
+    for (int c : {5, 6, 8, 10}) {
+        DmsParams paper_rule;
+        paper_rule.chainRule = ChainSelectRule::MaxFreeSlots;
+        DmsParams naive;
+        naive.chainRule = ChainSelectRule::ShortestPath;
+
+        double ii_a = 0.0;
+        double ii_b = 0.0;
+        int wins_a = 0;
+        int wins_b = 0;
+        for (size_t i : set1) {
+            LoopRun a =
+                runLoopClustered(suite[i], c, paper_rule, true);
+            LoopRun b = runLoopClustered(suite[i], c, naive, true);
+            if (!a.ok || !b.ok)
+                continue;
+            ii_a += a.ii;
+            ii_b += b.ii;
+            wins_a += a.ii < b.ii;
+            wins_b += b.ii < a.ii;
+        }
+        double n = static_cast<double>(set1.size());
+        t.row({Table::num(c), Table::num(ii_a / n),
+               Table::num(ii_b / n), Table::num(wins_a),
+               Table::num(wins_b)});
+    }
+    t.print();
+    return 0;
+}

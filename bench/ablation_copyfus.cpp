@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation A2: copy units per cluster. The paper's conclusions:
+ * "When the II increases it is mainly because the Copy FUs became
+ * the most heavily used resources ... That could be improved with
+ * additional hardware support." This bench adds that hardware.
+ */
+
+#include <cstdio>
+
+#include "eval/figures.h"
+
+int
+main()
+{
+    using namespace dms;
+    int count = suiteCountFromEnv(300);
+    std::vector<Loop> suite = standardSuite(kSuiteSeed, count);
+    auto set1 = selectSet(suite, LoopSet::Set1);
+    std::printf("ablation A2 (copy units): %zu loops\n",
+                suite.size());
+
+    Table t("A2: II overhead vs copy units per cluster");
+    t.header({"clusters", "copy_fus", "II_increased_frac",
+              "avg_II"});
+    for (int c : {4, 6, 8, 10}) {
+        // Unclustered reference, computed once per cluster count.
+        std::vector<LoopRun> ref;
+        ref.reserve(set1.size());
+        for (size_t i : set1) {
+            ref.push_back(runLoopUnclustered(suite[i], c,
+                                             SchedParams{}, true));
+        }
+        for (int fus : {1, 2, 3}) {
+            int increased = 0;
+            double avg_ii = 0.0;
+            for (size_t j = 0; j < set1.size(); ++j) {
+                LoopRun d = runLoopClustered(
+                    suite[set1[j]], c, DmsParams{}, true, fus);
+                if (!d.ok || !ref[j].ok)
+                    continue;
+                increased += d.ii > ref[j].ii;
+                avg_ii += d.ii;
+            }
+            t.row({Table::num(c), Table::num(fus),
+                   Table::pct(static_cast<double>(increased) /
+                              set1.size()),
+                   Table::num(avg_ii / set1.size())});
+        }
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation A1: DMS with strategy 2 (move chains) disabled — the
+ * authors' earlier IPPS'98 single-phase scheme, which the paper
+ * calls "inappropriate for larger configurations because it cannot
+ * consider communication between indirectly-connected clusters".
+ * Expectation: identical on 2-3 clusters (fully connected rings),
+ * growing II penalty from 4 clusters up.
+ */
+
+#include <cstdio>
+
+#include "eval/figures.h"
+
+int
+main()
+{
+    using namespace dms;
+    int count = suiteCountFromEnv(300);
+    std::vector<Loop> suite = standardSuite(kSuiteSeed, count);
+    auto set1 = selectSet(suite, LoopSet::Set1);
+    std::printf("ablation A1 (no chains): %zu loops\n",
+                suite.size());
+
+    Table t("A1: full DMS vs chains disabled (IPPS'98-like)");
+    t.header({"clusters", "avg_II_dms", "avg_II_nochains",
+              "nochains_worse_on", "avg_moves_dms"});
+    for (int c : {2, 3, 4, 5, 6, 8, 10}) {
+        DmsParams full;
+        DmsParams nochain;
+        nochain.enableChains = false;
+
+        double ii_full = 0.0;
+        double ii_nc = 0.0;
+        double moves = 0.0;
+        int worse = 0;
+        for (size_t i : set1) {
+            LoopRun a =
+                runLoopClustered(suite[i], c, full, true);
+            LoopRun b =
+                runLoopClustered(suite[i], c, nochain, true);
+            if (!a.ok || !b.ok) {
+                std::printf("  scheduling failure on %s @ %d\n",
+                            suite[i].name.c_str(), c);
+                continue;
+            }
+            ii_full += a.ii;
+            ii_nc += b.ii;
+            moves += a.movesInserted;
+            worse += b.ii > a.ii;
+        }
+        double n = static_cast<double>(set1.size());
+        t.row({Table::num(c), Table::num(ii_full / n),
+               Table::num(ii_nc / n), Table::num(worse),
+               Table::num(moves / n)});
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation A4: single-phase DMS vs the two-phase
+ * partition-then-schedule baseline (paper refs [6]/[12]). The
+ * paper's thesis is that integrating partitioning into the
+ * scheduler avoids the II loss of committing to a partition first.
+ */
+
+#include <cstdio>
+
+#include "baseline/twophase.h"
+#include "eval/figures.h"
+#include "ir/prepass.h"
+#include "sched/verifier.h"
+#include "workload/unroll_policy.h"
+
+int
+main()
+{
+    using namespace dms;
+    int count = suiteCountFromEnv(300);
+    std::vector<Loop> suite = standardSuite(kSuiteSeed, count);
+    auto set1 = selectSet(suite, LoopSet::Set1);
+    std::printf("ablation A4 (two-phase): %zu loops\n",
+                suite.size());
+
+    Table t("A4: DMS (single phase) vs partition-then-schedule");
+    t.header({"clusters", "avg_II_dms", "avg_II_twophase",
+              "dms_wins", "twophase_wins", "avg_moves_dms",
+              "avg_moves_2p"});
+    for (int c : {2, 4, 6, 8, 10}) {
+        MachineModel m = MachineModel::clusteredRing(c);
+        double ii_d = 0.0;
+        double ii_t = 0.0;
+        double mv_d = 0.0;
+        double mv_t = 0.0;
+        int wins_d = 0;
+        int wins_t = 0;
+        int n = 0;
+        for (size_t i : set1) {
+            Ddg body = applyUnrollPolicy(suite[i].ddg, m);
+            singleUsePrepass(body, m.latencyOf(Opcode::Copy));
+            int before = body.liveOpCount();
+
+            DmsOutcome d = scheduleDms(body, m);
+            TwoPhaseOutcome tp = scheduleTwoPhase(body, m);
+            if (!d.sched.ok || !tp.sched.ok)
+                continue;
+            checkSchedule(*d.ddg, m, *d.sched.schedule);
+            checkSchedule(*tp.ddg, m, *tp.sched.schedule);
+
+            ii_d += d.sched.ii;
+            ii_t += tp.sched.ii;
+            mv_d += d.sched.movesInserted;
+            mv_t += tp.ddg->liveOpCount() - before;
+            wins_d += d.sched.ii < tp.sched.ii;
+            wins_t += tp.sched.ii < d.sched.ii;
+            ++n;
+        }
+        t.row({Table::num(c), Table::num(ii_d / n),
+               Table::num(ii_t / n), Table::num(wins_d),
+               Table::num(wins_t), Table::num(mv_d / n),
+               Table::num(mv_t / n)});
+    }
+    t.print();
+    return 0;
+}

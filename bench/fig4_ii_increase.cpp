@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates paper Figure 4: the fraction of loops whose II
+ * increases due to DMS partitioning, per cluster count 1-10.
+ * Paper shape: over 80% of loops show no overhead up to 8 clusters;
+ * 2-3 cluster overheads come only from copy operations (no
+ * communication conflicts are possible on those rings).
+ *
+ * DMS_SUITE_COUNT overrides the 1258-loop default for quick runs.
+ */
+
+#include <cstdio>
+
+#include "eval/figures.h"
+
+int
+main()
+{
+    using namespace dms;
+    int count = suiteCountFromEnv(1258);
+    std::printf("fig4: suite of %d synthetic loops + %zu kernels "
+                "(seed %llu)\n",
+                count, namedKernels().size(),
+                static_cast<unsigned long long>(kSuiteSeed));
+
+    std::vector<Loop> suite = standardSuite(kSuiteSeed, count);
+    RunnerOptions opts;
+    opts.maxClusters = 10;
+    auto matrix = runMatrix(suite, opts);
+
+    figure4(suite, matrix).print();
+
+    // Companion detail the paper narrates: how many of the
+    // overhead loops at 2-3 clusters carry copy ops, and move
+    // counts per cluster count.
+    Table detail("Fig.4 companion: copies and moves per config");
+    detail.header({"clusters", "avg_copies", "avg_moves",
+                   "loops_with_moves"});
+    auto set1 = selectSet(suite, LoopSet::Set1);
+    for (const ConfigRun &cfg : matrix) {
+        double copies = 0.0;
+        double moves = 0.0;
+        int with_moves = 0;
+        for (size_t i : set1) {
+            copies += cfg.clustered[i].copiesInserted;
+            moves += cfg.clustered[i].movesInserted;
+            with_moves += cfg.clustered[i].movesInserted > 0;
+        }
+        detail.row({Table::num(cfg.clusters),
+                    Table::num(copies / set1.size()),
+                    Table::num(moves / set1.size()),
+                    Table::num(with_moves)});
+    }
+    detail.print();
+    return 0;
+}

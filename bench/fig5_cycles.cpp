@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Regenerates paper Figure 5: total execution cycles (relative,
+ * 3-FU unclustered = 100) across 3-30 FUs for set 1 (all loops)
+ * and set 2 (no recurrences), clustered (DMS) vs unclustered
+ * (IMS). Paper shape: small degradation up to ~21 FUs on set 1,
+ * near-zero gap on set 2.
+ */
+
+#include <cstdio>
+
+#include "eval/figures.h"
+
+int
+main()
+{
+    using namespace dms;
+    int count = suiteCountFromEnv(1258);
+    std::printf("fig5: suite of %d synthetic loops + %zu kernels\n",
+                count, namedKernels().size());
+
+    std::vector<Loop> suite = standardSuite(kSuiteSeed, count);
+    auto set2 = selectSet(suite, LoopSet::Set2);
+    std::printf("set1=%zu loops, set2=%zu loops (no recurrences)\n",
+                suite.size(), set2.size());
+
+    RunnerOptions opts;
+    opts.maxClusters = 10;
+    auto matrix = runMatrix(suite, opts);
+
+    figure5(suite, matrix).print();
+    return 0;
+}

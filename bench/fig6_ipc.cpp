@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Regenerates paper Figure 6: IPC (useful operations only,
+ * prologue/epilogue included via the iteration count) across 3-30
+ * FUs for both sets and both machines. Paper shape: set 1 levels
+ * off beyond 21 FUs (7 clusters); set 2 keeps improving through
+ * 30 FUs.
+ */
+
+#include <cstdio>
+
+#include "eval/figures.h"
+
+int
+main()
+{
+    using namespace dms;
+    int count = suiteCountFromEnv(1258);
+    std::printf("fig6: suite of %d synthetic loops + %zu kernels\n",
+                count, namedKernels().size());
+
+    std::vector<Loop> suite = standardSuite(kSuiteSeed, count);
+    RunnerOptions opts;
+    opts.maxClusters = 10;
+    auto matrix = runMatrix(suite, opts);
+
+    figure6(suite, matrix).print();
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Ablation A6: scheduler throughput microbenchmarks
+ * (google-benchmark). Measures the compile-time cost of IMS, DMS,
+ * the pre-pass and the simulator — the engineering overhead a
+ * compiler pays for clustering support.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/dms.h"
+#include "ir/prepass.h"
+#include "sim/exec.h"
+#include "workload/kernels.h"
+#include "workload/synth.h"
+
+namespace {
+
+using namespace dms;
+
+Loop
+synthLoop(int seed, int ops)
+{
+    Rng rng(static_cast<std::uint64_t>(seed));
+    SynthParams sp;
+    sp.minOps = ops;
+    sp.maxOps = ops;
+    return synthesizeLoop(rng, sp, seed);
+}
+
+void
+BM_ImsKernelFir8(benchmark::State &state)
+{
+    Loop k = kernelFir8();
+    MachineModel m = MachineModel::unclustered(
+        static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        SchedOutcome out = scheduleIms(k.ddg, m);
+        benchmark::DoNotOptimize(out.ii);
+    }
+}
+BENCHMARK(BM_ImsKernelFir8)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_ImsSynthetic(benchmark::State &state)
+{
+    Loop k = synthLoop(7, static_cast<int>(state.range(0)));
+    MachineModel m = MachineModel::unclustered(4);
+    for (auto _ : state) {
+        SchedOutcome out = scheduleIms(k.ddg, m);
+        benchmark::DoNotOptimize(out.ii);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ImsSynthetic)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+void
+BM_DmsSynthetic(benchmark::State &state)
+{
+    Loop k = synthLoop(7, 24);
+    MachineModel m = MachineModel::clusteredRing(
+        static_cast<int>(state.range(0)));
+    Ddg body = k.ddg;
+    singleUsePrepass(body, m.latencyOf(Opcode::Copy));
+    for (auto _ : state) {
+        DmsOutcome out = scheduleDms(body, m);
+        benchmark::DoNotOptimize(out.sched.ii);
+    }
+}
+BENCHMARK(BM_DmsSynthetic)->Arg(2)->Arg(4)->Arg(8)->Arg(10);
+
+void
+BM_DmsVsImsOverhead(benchmark::State &state)
+{
+    // DMS on C clusters vs IMS at equal width: the single-phase
+    // integration cost.
+    Loop k = synthLoop(11, 20);
+    MachineModel cm = MachineModel::clusteredRing(6);
+    Ddg body = k.ddg;
+    singleUsePrepass(body, cm.latencyOf(Opcode::Copy));
+    for (auto _ : state) {
+        DmsOutcome out = scheduleDms(body, cm);
+        benchmark::DoNotOptimize(out.sched.ii);
+    }
+}
+BENCHMARK(BM_DmsVsImsOverhead);
+
+void
+BM_Prepass(benchmark::State &state)
+{
+    Loop k = synthLoop(3, static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        state.PauseTiming();
+        Ddg body = k.ddg;
+        state.ResumeTiming();
+        PrepassStats st = singleUsePrepass(body, 1);
+        benchmark::DoNotOptimize(st.copiesInserted);
+    }
+}
+BENCHMARK(BM_Prepass)->Arg(16)->Arg(40);
+
+void
+BM_Simulator(benchmark::State &state)
+{
+    Loop k = kernelFir8();
+    MachineModel m = MachineModel::clusteredRing(4);
+    Ddg body = k.ddg;
+    singleUsePrepass(body, 1);
+    DmsOutcome out = scheduleDms(body, m);
+    for (auto _ : state) {
+        SimResult r = simulateSchedule(*out.ddg, m,
+                                       *out.sched.schedule, 64);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+}
+BENCHMARK(BM_Simulator);
+
+} // namespace

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Quickstart: build a small loop, schedule it with DMS on a
+ * 4-cluster ring, and inspect everything the library produces —
+ * the II, the kernel, the queue allocation, and a simulation
+ * validated against sequential execution.
+ */
+
+#include <cstdio>
+
+#include "codegen/emit.h"
+#include "codegen/perf.h"
+#include "core/dms.h"
+#include "ir/prepass.h"
+#include "regalloc/queue_alloc.h"
+#include "sched/verifier.h"
+#include "sim/exec.h"
+#include "workload/kernels.h"
+
+int
+main()
+{
+    using namespace dms;
+
+    // 1. A loop body: y[i] = a*x[i] + y[i] plus an accumulator.
+    LoopBuilder b;
+    OpId x = b.load(0);
+    OpId y = b.load(1);
+    OpId ax = b.mul1(x);
+    OpId s = b.add(ax, y);
+    b.store(1, s);
+    OpId acc = b.add1(s);
+    b.flow(acc, acc, 1, 1); // acc += s (loop-carried)
+    b.store(2, acc);
+    Ddg body = b.take();
+
+    // 2. The paper's clustered machine: 4 clusters in a ring, each
+    //    1 L/S + 1 ADD + 1 MUL + 1 copy unit.
+    MachineModel machine = MachineModel::clusteredRing(4);
+    std::printf("machine: %s\n", machine.describe().c_str());
+
+    // 3. Queue register files read each value once: run the
+    //    single-use pre-pass first.
+    PrepassStats pp =
+        singleUsePrepass(body, machine.latencyOf(Opcode::Copy));
+    std::printf("pre-pass inserted %d copy ops\n",
+                pp.copiesInserted);
+
+    // 4. Distributed Modulo Scheduling.
+    DmsOutcome out = scheduleDms(body, machine);
+    if (!out.sched.ok) {
+        std::printf("scheduling failed\n");
+        return 1;
+    }
+    std::printf("DMS: II=%d (MII=%d: res=%d rec=%d), %d moves, "
+                "%d II values tried\n",
+                out.sched.ii, out.sched.mii, out.sched.resMii,
+                out.sched.recMii, out.sched.movesInserted,
+                out.sched.attempts);
+
+    // 5. The schedule is legal...
+    checkSchedule(*out.ddg, machine, *out.sched.schedule);
+    std::printf("schedule verified (dependences, resources, "
+                "communication)\n\n");
+
+    // 6. ...and here is the pipelined kernel.
+    PipelinedLoop loop =
+        buildPipelinedLoop(*out.ddg, *out.sched.schedule);
+    std::printf("%s\n",
+                emitKernel(*out.ddg, machine, loop).c_str());
+
+    // 7. Queue register allocation (LRF/CQRF requirements).
+    QueueAllocation qa =
+        allocateQueues(*out.ddg, machine, *out.sched.schedule);
+    std::printf("%s\n", qa.summary().c_str());
+
+    // 8. Execute 100 iterations cycle by cycle and compare every
+    //    stored value with the sequential reference.
+    auto problems =
+        simulateAndCheck(*out.ddg, machine, *out.sched.schedule, 100);
+    if (!problems.empty()) {
+        for (const auto &p : problems)
+            std::printf("SIM PROBLEM: %s\n", p.c_str());
+        return 1;
+    }
+    LoopPerf perf =
+        evaluatePerf(*out.ddg, *out.sched.schedule, 100);
+    std::printf("simulated 100 iterations: %ld cycles, useful IPC "
+                "%.2f — all stored values match the sequential "
+                "reference\n",
+                perf.cycles, perf.ipc);
+    return 0;
+}

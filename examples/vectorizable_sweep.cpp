@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Set-2 scenario (paper section 4): loops without recurrences are
+ * "highly vectorizable, having characteristics similar to the ones
+ * usually found in DSP applications" and keep profiting from wider
+ * rings. This example sweeps one vectorizable and one
+ * recurrence-bound kernel from 1 to 10 clusters and prints the
+ * speedup curves side by side — figure 5/6 in miniature.
+ */
+
+#include <cstdio>
+
+#include "codegen/perf.h"
+#include "core/dms.h"
+#include "ir/prepass.h"
+#include "sched/verifier.h"
+#include "support/diag.h"
+#include "support/table.h"
+#include "workload/kernels.h"
+#include "workload/unroll_policy.h"
+
+namespace {
+
+using namespace dms;
+
+struct Point
+{
+    long cycles = 0;
+    double ipc = 0.0;
+};
+
+Point
+run(const Loop &loop, int clusters)
+{
+    MachineModel m = MachineModel::clusteredRing(clusters);
+    Ddg body = applyUnrollPolicy(loop.ddg, m);
+    singleUsePrepass(body, m.latencyOf(Opcode::Copy));
+    DmsOutcome out = scheduleDms(body, m);
+    if (!out.sched.ok)
+        fatal("scheduling %s failed", loop.name.c_str());
+    checkSchedule(*out.ddg, m, *out.sched.schedule);
+    long iters =
+        std::max<long>(1, loop.tripCount / body.unrollFactor());
+    LoopPerf perf =
+        evaluatePerf(*out.ddg, *out.sched.schedule, iters);
+    return {perf.cycles, perf.ipc};
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace dms;
+    Loop vec = kernelColorConvert(); // no recurrence, wide ILP
+    Loop rec = kernelHorner();       // tight recurrence (RecMII 3)
+    std::printf("vectorizable: %s (%d ops), recurrence-bound: %s "
+                "(RecMII-limited)\n\n",
+                vec.name.c_str(), vec.ddg.liveOpCount(),
+                rec.name.c_str());
+
+    Point vec_base = run(vec, 1);
+    Point rec_base = run(rec, 1);
+
+    Table t("speedup over the 1-cluster machine");
+    t.header({"clusters", "FUs", "vec_speedup", "vec_IPC",
+              "rec_speedup", "rec_IPC"});
+    for (int c = 1; c <= 10; ++c) {
+        Point v = run(vec, c);
+        Point r = run(rec, c);
+        t.row({Table::num(c), Table::num(3 * c),
+               Table::num(static_cast<double>(vec_base.cycles) /
+                          v.cycles),
+               Table::num(v.ipc),
+               Table::num(static_cast<double>(rec_base.cycles) /
+                          r.cycles),
+               Table::num(r.ipc)});
+    }
+    t.print();
+    std::printf("\nThe vectorizable loop keeps scaling with the "
+                "ring; the recurrence-bound loop saturates at its "
+                "RecMII — the paper's set-1 vs set-2 contrast.\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+#include "codegen/emit.h"
+
+#include "support/diag.h"
+
+namespace dms {
+
+namespace {
+
+std::string
+slotText(const Ddg &ddg, const KernelSlot &s, int iteration)
+{
+    std::string txt = strfmt("%s", opcodeName(ddg.op(s.op).opc));
+    txt += strfmt("%d", s.op);
+    if (iteration >= 0)
+        txt += strfmt("[i%d]", iteration);
+    else
+        txt += strfmt("(s%d)", s.stage);
+    return txt;
+}
+
+std::string
+rowText(const Ddg &ddg, const MachineModel &machine,
+        const std::vector<KernelSlot> &row, int stage_of_iter0)
+{
+    std::string line;
+    for (ClusterId c = 0; c < machine.numClusters(); ++c) {
+        if (machine.clustered())
+            line += strfmt(" | c%d:", c);
+        bool any = false;
+        for (const KernelSlot &s : row) {
+            if (s.cluster != c)
+                continue;
+            int iter = stage_of_iter0 >= 0
+                           ? stage_of_iter0 - s.stage
+                           : -1;
+            if (stage_of_iter0 >= 0 && iter < 0)
+                continue; // not live yet in prologue
+            line += " " + slotText(ddg, s, iter);
+            any = true;
+        }
+        if (!any)
+            line += " nop";
+    }
+    return line;
+}
+
+} // namespace
+
+std::string
+emitKernel(const Ddg &ddg, const MachineModel &machine,
+           const PipelinedLoop &loop)
+{
+    std::string out =
+        strfmt("kernel: II=%d, SC=%d\n", loop.ii, loop.stageCount);
+    for (int r = 0; r < loop.ii; ++r) {
+        out += strfmt("  [%2d]", r);
+        out += rowText(ddg, machine,
+                       loop.rows[static_cast<size_t>(r)], -1);
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+emitPipelinedCode(const Ddg &ddg, const MachineModel &machine,
+                  const PipelinedLoop &loop)
+{
+    std::string out;
+    const int sc = loop.stageCount;
+    const int ii = loop.ii;
+
+    out += strfmt("; pipelined loop: II=%d SC=%d prologue=%d cycles\n",
+                  ii, sc, loop.rampCycles());
+
+    // Prologue: cycles 0 .. (SC-1)*II - 1. At global cycle t, the
+    // op copies live are those of stages 0..t/II; an op of stage s
+    // executes iteration (t/II - s).
+    out += "prologue:\n";
+    for (int t = 0; t < (sc - 1) * ii; ++t) {
+        std::string line;
+        for (const KernelSlot &s :
+             loop.rows[static_cast<size_t>(t % ii)]) {
+            int iter = t / ii - s.stage;
+            if (iter < 0)
+                continue;
+            line += " " + slotText(ddg, s, iter);
+        }
+        out += strfmt("  [%3d]%s\n", t,
+                      line.empty() ? " nop" : line.c_str());
+    }
+
+    out += "kernel (repeat):\n";
+    for (int r = 0; r < ii; ++r) {
+        out += strfmt("  [%3d]", r);
+        out += rowText(ddg, machine,
+                       loop.rows[static_cast<size_t>(r)], -1);
+        out += "\n";
+    }
+
+    // Epilogue: the last SC-1 stages drain. With N iterations, at
+    // epilogue cycle t an op of stage s runs iteration
+    // N - 1 - (stages remaining); emit with symbolic subscripts.
+    out += "epilogue:\n";
+    for (int t = 0; t < (sc - 1) * ii; ++t) {
+        std::string line;
+        for (const KernelSlot &s :
+             loop.rows[static_cast<size_t>(t % ii)]) {
+            // Stages s > t/II are still draining.
+            if (s.stage > t / ii) {
+                line += strfmt(" %s%d[N-%d]",
+                               opcodeName(ddg.op(s.op).opc), s.op,
+                               s.stage - t / ii);
+            }
+        }
+        out += strfmt("  [%3d]%s\n", t,
+                      line.empty() ? " nop" : line.c_str());
+    }
+    return out;
+}
+
+} // namespace dms

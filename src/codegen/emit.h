@@ -1,0 +1,33 @@
+#ifndef DMS_CODEGEN_EMIT_H
+#define DMS_CODEGEN_EMIT_H
+
+/**
+ * @file
+ * Textual "assembly" emission of a pipelined loop: the kernel as
+ * VLIW words (one column per FU), stage annotations, and the
+ * prologue/epilogue expansion. Meant for humans — examples and
+ * golden tests — not for an actual assembler.
+ */
+
+#include <string>
+
+#include "codegen/kernel.h"
+
+namespace dms {
+
+/** Render the kernel (II rows of VLIW words). */
+std::string emitKernel(const Ddg &ddg, const MachineModel &machine,
+                       const PipelinedLoop &loop);
+
+/**
+ * Render the full pipelined code: prologue words (cycle-by-cycle
+ * ramp-up), the kernel, and epilogue words (ramp-down). Iteration
+ * subscripts show which in-flight iteration each op belongs to.
+ */
+std::string emitPipelinedCode(const Ddg &ddg,
+                              const MachineModel &machine,
+                              const PipelinedLoop &loop);
+
+} // namespace dms
+
+#endif // DMS_CODEGEN_EMIT_H

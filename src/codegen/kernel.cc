@@ -1,0 +1,51 @@
+#include "codegen/kernel.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+
+namespace dms {
+
+PipelinedLoop
+buildPipelinedLoop(const Ddg &ddg, const PartialSchedule &ps)
+{
+    PipelinedLoop loop;
+    loop.ii = ps.ii();
+    loop.rows.assign(static_cast<size_t>(loop.ii), {});
+
+    Cycle max_t = 0;
+    for (OpId id = 0; id < ddg.numOps(); ++id) {
+        if (!ddg.opLive(id))
+            continue;
+        DMS_ASSERT(ps.isScheduled(id),
+                   "building kernel from incomplete schedule (%s)",
+                   ddg.opLabel(id).c_str());
+        const Placement &p = ps.placement(id);
+        max_t = std::max(max_t, p.time);
+
+        KernelSlot slot;
+        slot.op = id;
+        slot.stage = p.time / loop.ii;
+        slot.cluster = p.cluster;
+        slot.fuClass = fuClassOf(ddg.op(id).opc);
+        slot.fuInstance = p.fuInstance;
+        loop.rows[static_cast<size_t>(p.time % loop.ii)]
+            .push_back(slot);
+    }
+    loop.stageCount = max_t / loop.ii + 1;
+
+    // Deterministic row order: cluster, class, instance.
+    for (auto &row : loop.rows) {
+        std::sort(row.begin(), row.end(),
+                  [](const KernelSlot &a, const KernelSlot &b) {
+                      if (a.cluster != b.cluster)
+                          return a.cluster < b.cluster;
+                      if (a.fuClass != b.fuClass)
+                          return a.fuClass < b.fuClass;
+                      return a.fuInstance < b.fuInstance;
+                  });
+    }
+    return loop;
+}
+
+} // namespace dms

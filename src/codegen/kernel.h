@@ -1,0 +1,68 @@
+#ifndef DMS_CODEGEN_KERNEL_H
+#define DMS_CODEGEN_KERNEL_H
+
+/**
+ * @file
+ * Pipelined-loop construction from a modulo schedule: the II-cycle
+ * kernel with per-op stage numbers, plus the derived prologue and
+ * epilogue shapes. With queue register files no modulo variable
+ * expansion is needed (the queues rotate values by construction),
+ * so the kernel is exactly II VLIW words.
+ */
+
+#include <vector>
+
+#include "ir/ddg.h"
+#include "machine/machine.h"
+#include "sched/schedule.h"
+
+namespace dms {
+
+/** One op slotted into the kernel. */
+struct KernelSlot
+{
+    OpId op = kInvalidOp;
+
+    /** Pipeline stage: scheduled time / II. */
+    int stage = 0;
+
+    ClusterId cluster = kInvalidCluster;
+    FuClass fuClass = FuClass::Add;
+    int fuInstance = 0;
+};
+
+/** The software-pipelined loop. */
+struct PipelinedLoop
+{
+    int ii = 1;
+
+    /** Stage count SC = floor(max scheduled time / II) + 1. */
+    int stageCount = 1;
+
+    /** Kernel rows [0, II): the ops issued at cycle t mod II. */
+    std::vector<std::vector<KernelSlot>> rows;
+
+    /** Prologue/epilogue lengths in cycles: (SC - 1) * II. */
+    int rampCycles() const { return (stageCount - 1) * ii; }
+
+    /**
+     * Total execution cycles for n iterations: (n + SC - 1) * II
+     * (prologue fills SC-1 stages, then one iteration completes
+     * every II cycles). Matches the paper's dynamic cycle counts.
+     */
+    long
+    cyclesFor(long n) const
+    {
+        if (n <= 0)
+            return 0;
+        return (n + stageCount - 1) * static_cast<long>(ii);
+    }
+};
+
+/** Build the pipelined loop for a complete schedule. */
+PipelinedLoop buildPipelinedLoop(const Ddg &ddg,
+                                 const PartialSchedule &ps);
+
+} // namespace dms
+
+#endif // DMS_CODEGEN_KERNEL_H

@@ -1,0 +1,26 @@
+#include "codegen/perf.h"
+
+#include "support/diag.h"
+
+namespace dms {
+
+LoopPerf
+evaluatePerf(const Ddg &ddg, const PartialSchedule &ps,
+             long iterations)
+{
+    DMS_ASSERT(iterations >= 1, "need at least one iteration");
+    PipelinedLoop loop = buildPipelinedLoop(ddg, ps);
+
+    LoopPerf perf;
+    perf.ii = loop.ii;
+    perf.stageCount = loop.stageCount;
+    perf.usefulOps = ddg.usefulOpCount();
+    perf.iterations = iterations;
+    perf.cycles = loop.cyclesFor(iterations);
+    perf.ipc = static_cast<double>(perf.usefulOps) *
+               static_cast<double>(iterations) /
+               static_cast<double>(perf.cycles);
+    return perf;
+}
+
+} // namespace dms

@@ -1,0 +1,45 @@
+#ifndef DMS_CODEGEN_PERF_H
+#define DMS_CODEGEN_PERF_H
+
+/**
+ * @file
+ * Static performance model used for the paper's figures 5 and 6:
+ * execution cycles from the modulo-schedule shape and IPC counting
+ * only useful operations ("these functional units and operations
+ * [copy/move] are not considered to estimate performance figures")
+ * while including prologue/kernel/epilogue issue slots via the
+ * iteration count.
+ */
+
+#include "codegen/kernel.h"
+
+namespace dms {
+
+/** Performance of one loop on one machine configuration. */
+struct LoopPerf
+{
+    int ii = 0;
+    int stageCount = 0;
+
+    /** Useful ops per body iteration (copy/move excluded). */
+    int usefulOps = 0;
+
+    /** Body iterations executed (after unrolling, if any). */
+    long iterations = 0;
+
+    /** Total cycles for the run. */
+    long cycles = 0;
+
+    /** Useful instructions per cycle. */
+    double ipc = 0.0;
+};
+
+/**
+ * Evaluate a complete schedule for @p iterations body iterations.
+ */
+LoopPerf evaluatePerf(const Ddg &ddg, const PartialSchedule &ps,
+                      long iterations);
+
+} // namespace dms
+
+#endif // DMS_CODEGEN_PERF_H

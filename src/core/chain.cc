@@ -1,0 +1,111 @@
+#include "core/chain.h"
+
+#include "support/diag.h"
+
+namespace dms {
+
+int
+ChainRegistry::create(Ddg &ddg, EdgeId edge,
+                      const std::vector<ClusterId> &path,
+                      int move_latency)
+{
+    DMS_ASSERT(!path.empty(), "chain needs at least one move");
+    const Edge orig = ddg.edge(edge);
+    DMS_ASSERT(orig.kind == DepKind::Flow && !orig.replaced,
+               "chaining a non-flow or already chained edge");
+
+    Chain c;
+    c.originalEdge = edge;
+    c.clusters = path;
+
+    ddg.markReplaced(edge);
+
+    OpId prev = orig.src;
+    for (size_t i = 0; i < path.size(); ++i) {
+        OpId mv = ddg.addOp(Opcode::Move, OpOrigin::MoveOp);
+        // Moves forward the producer's value; keep the ultimate
+        // origin so simulator live-in values line up.
+        ddg.op(mv).origId = ddg.op(orig.src).origId;
+        ddg.op(mv).iterOffset = ddg.op(orig.src).iterOffset;
+        int dist = i == 0 ? orig.distance : 0;
+        int lat = i == 0 ? orig.latency : move_latency;
+        EdgeId e = ddg.addEdge(prev, mv, DepKind::Flow, dist, lat, 0);
+        c.moves.push_back(mv);
+        c.edges.push_back(e);
+        prev = mv;
+
+        size_t need = static_cast<size_t>(mv) + 1;
+        if (chain_of_move_.size() < need)
+            chain_of_move_.resize(need, -1);
+        chain_of_move_[static_cast<size_t>(mv)] =
+            static_cast<int>(chains_.size());
+    }
+    EdgeId last = ddg.addEdge(prev, orig.dst, DepKind::Flow, 0,
+                              move_latency, orig.operandIndex);
+    c.edges.push_back(last);
+
+    chains_.push_back(std::move(c));
+    return static_cast<int>(chains_.size()) - 1;
+}
+
+void
+ChainRegistry::dissolve(int chain_id, Ddg &ddg, PartialSchedule &ps)
+{
+    Chain &c = chains_.at(static_cast<size_t>(chain_id));
+    DMS_ASSERT(!c.dissolved, "double dissolve of chain %d", chain_id);
+
+    for (OpId mv : c.moves) {
+        if (ps.isScheduled(mv))
+            ps.unschedule(mv);
+    }
+    for (EdgeId e : c.edges)
+        ddg.removeEdge(e);
+    for (OpId mv : c.moves) {
+        ddg.removeOp(mv);
+        chain_of_move_[static_cast<size_t>(mv)] = -1;
+    }
+    ddg.unmarkReplaced(c.originalEdge);
+    c.dissolved = true;
+}
+
+int
+ChainRegistry::chainOfMove(OpId op) const
+{
+    if (op < 0 || static_cast<size_t>(op) >= chain_of_move_.size())
+        return -1;
+    return chain_of_move_[static_cast<size_t>(op)];
+}
+
+std::vector<int>
+ChainRegistry::chainsTouching(const Ddg &ddg, OpId op) const
+{
+    std::vector<int> out;
+    for (size_t i = 0; i < chains_.size(); ++i) {
+        const Chain &c = chains_[i];
+        if (c.dissolved)
+            continue;
+        const Edge &e = ddg.edge(c.originalEdge);
+        if (e.src == op || e.dst == op)
+            out.push_back(static_cast<int>(i));
+    }
+    return out;
+}
+
+const Chain &
+ChainRegistry::chain(int id) const
+{
+    return chains_.at(static_cast<size_t>(id));
+}
+
+int
+ChainRegistry::liveChainCount() const
+{
+    int n = 0;
+    for (const Chain &c : chains_) {
+        if (!c.dissolved)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace dms

@@ -1,0 +1,489 @@
+#include "core/dms.h"
+
+#include <algorithm>
+
+#include "core/chain.h"
+#include "core/comm.h"
+#include "sched/mii.h"
+#include "sched/priority.h"
+#include "support/diag.h"
+
+namespace dms {
+
+namespace {
+
+/** One II attempt's worth of DMS state. */
+class DmsAttempt
+{
+  public:
+    DmsAttempt(const Ddg &original, const MachineModel &machine,
+               const DmsParams &params, int ii, int variant)
+        : machine_(machine), params_(params), ii_(ii),
+          variant_(variant), ddg_(std::make_unique<Ddg>(original)),
+          ps_(std::make_unique<PartialSchedule>(*ddg_, machine, ii)),
+          heights_(computeHeights(*ddg_, ii))
+    {}
+
+    /** Run the pass; true if everything got scheduled in budget. */
+    bool
+    run(long budget, long &used)
+    {
+        while (ps_->scheduledCount() < ddg_->liveOpCount()) {
+            if (budget-- <= 0)
+                return false;
+            ++used;
+            OpId op = pickNext();
+            DMS_ASSERT(op != kInvalidOp, "no unscheduled op");
+            scheduleOp(op);
+        }
+        return true;
+    }
+
+    std::unique_ptr<Ddg> takeDdg() { return std::move(ddg_); }
+    std::unique_ptr<PartialSchedule> takeSchedule()
+    {
+        return std::move(ps_);
+    }
+
+    int
+    liveMoves() const
+    {
+        int n = 0;
+        for (OpId id = 0; id < ddg_->numOps(); ++id) {
+            if (ddg_->opLive(id) &&
+                ddg_->op(id).origin == OpOrigin::MoveOp) {
+                ++n;
+            }
+        }
+        return n;
+    }
+
+  private:
+    /** Highest-height unscheduled op. Moves never appear: they are
+     * scheduled at chain creation and removed on dissolution. */
+    OpId
+    pickNext() const
+    {
+        OpId best = kInvalidOp;
+        for (OpId id = 0; id < ddg_->numOps(); ++id) {
+            if (!ddg_->opLive(id) || ps_->isScheduled(id))
+                continue;
+            DMS_ASSERT(ddg_->op(id).origin != OpOrigin::MoveOp,
+                       "unscheduled move op %d in worklist", id);
+            if (best == kInvalidOp ||
+                heights_[static_cast<size_t>(id)] >
+                    heights_[static_cast<size_t>(best)]) {
+                best = id;
+            }
+        }
+        return best;
+    }
+
+    void
+    scheduleOp(OpId op)
+    {
+        if (strategy1(op))
+            return;
+        if (params_.enableChains && strategy2(op))
+            return;
+        strategy3(op);
+    }
+
+    /**
+     * Strategy 1: a communication-conflict-free cluster with a
+     * resource-free slot inside the II window. Dependence-violated
+     * successors are ejected; no resource eviction happens here.
+     */
+    bool
+    strategy1(OpId op)
+    {
+        Cycle early = ps_->earlyStart(op);
+        for (ClusterId c :
+             clustersByAffinity(*ddg_, *ps_, machine_, op, variant_)) {
+            if (!commOkAt(*ddg_, *ps_, machine_, op, c))
+                continue;
+            Cycle slot = ps_->findFreeSlot(op, c, early);
+            if (slot == kUnscheduled)
+                continue;
+            bool ok = ps_->tryPlace(op, slot, c);
+            DMS_ASSERT(ok, "free slot vanished");
+            ejectViolatedSuccessors(op);
+            return true;
+        }
+        return false;
+    }
+
+    /** A direction option for bridging one far predecessor. */
+    struct ChainOption
+    {
+        EdgeId edge = kInvalidEdge;
+        std::vector<ClusterId> path;
+    };
+
+    /**
+     * Strategy 2: chains of moves toward every far predecessor
+     * (paper figure 3). Returns false if no candidate cluster can
+     * host all required chains.
+     */
+    bool
+    strategy2(OpId op)
+    {
+        const auto &rt = ps_->reservations();
+
+        // Free copy-unit slots per cluster, the quantity the
+        // paper's selection rule preserves.
+        const int nc = machine_.numClusters();
+        std::vector<int> base_free(static_cast<size_t>(nc));
+        for (ClusterId c = 0; c < nc; ++c) {
+            base_free[static_cast<size_t>(c)] =
+                rt.freeSlotCount(c, FuClass::Copy);
+        }
+
+        struct Candidate
+        {
+            ClusterId cluster = kInvalidCluster;
+            std::vector<ChainOption> chains;
+            int minFreeAfter = -1;
+            int totalMoves = 0;
+        };
+        Candidate best;
+
+        for (ClusterId c :
+             clustersByAffinity(*ddg_, *ps_, machine_, op, variant_)) {
+            if (!succsOkAt(*ddg_, *ps_, machine_, op, c))
+                continue;
+            auto far_edges =
+                farPredecessorEdges(*ddg_, *ps_, machine_, op, c);
+            if (far_edges.empty())
+                continue; // strategy 1 territory; resources failed
+
+            std::vector<int> claimed(static_cast<size_t>(nc), 0);
+            std::vector<ChainOption> plan;
+            bool feasible = true;
+            for (EdgeId e : far_edges) {
+                ChainOption opt =
+                    planOneChain(e, c, base_free, claimed);
+                if (opt.path.empty()) {
+                    feasible = false;
+                    break;
+                }
+                for (ClusterId x : opt.path)
+                    ++claimed[static_cast<size_t>(x)];
+                plan.push_back(std::move(opt));
+            }
+            if (!feasible)
+                continue;
+
+            int min_free = INT32_MAX;
+            int moves = 0;
+            for (ClusterId x = 0; x < nc; ++x) {
+                min_free = std::min(min_free,
+                                    base_free[static_cast<size_t>(x)] -
+                                        claimed[static_cast<size_t>(x)]);
+            }
+            for (const ChainOption &o : plan)
+                moves += static_cast<int>(o.path.size());
+
+            bool better = best.cluster == kInvalidCluster ||
+                          min_free > best.minFreeAfter ||
+                          (min_free == best.minFreeAfter &&
+                           moves < best.totalMoves);
+            if (better) {
+                best.cluster = c;
+                best.chains = std::move(plan);
+                best.minFreeAfter = min_free;
+                best.totalMoves = moves;
+            }
+        }
+
+        if (best.cluster == kInvalidCluster)
+            return false;
+        return commitStrategy2(op, best.cluster, best.chains);
+    }
+
+    /**
+     * Pick a direction for one chain, honouring slots already
+     * claimed by sibling chains of the same candidate. Empty path
+     * in the result means neither direction fits.
+     */
+    ChainOption
+    planOneChain(EdgeId e, ClusterId target,
+                 const std::vector<int> &base_free,
+                 const std::vector<int> &claimed) const
+    {
+        ClusterId from = ps_->clusterOf(ddg_->edge(e).src);
+        ChainOption best;
+        best.edge = e;
+        int best_min_free = -1;
+
+        for (int dir : {+1, -1}) {
+            std::vector<ClusterId> path =
+                machine_.pathBetween(from, target, dir);
+            if (path.empty())
+                continue; // would be adjacent; not a far edge
+            bool fits = true;
+            int min_free = INT32_MAX;
+            for (ClusterId x : path) {
+                int free_here = base_free[static_cast<size_t>(x)] -
+                                claimed[static_cast<size_t>(x)] - 1;
+                if (free_here < 0) {
+                    fits = false;
+                    break;
+                }
+                min_free = std::min(min_free, free_here);
+            }
+            if (!fits)
+                continue;
+
+            bool better;
+            if (best.path.empty()) {
+                better = true;
+            } else if (params_.chainRule ==
+                       ChainSelectRule::MaxFreeSlots) {
+                better = min_free > best_min_free ||
+                         (min_free == best_min_free &&
+                          path.size() < best.path.size());
+            } else {
+                better = path.size() < best.path.size();
+            }
+            if (better) {
+                best.path = std::move(path);
+                best_min_free = min_free;
+            }
+        }
+        return best;
+    }
+
+    /** Splice and schedule the chosen chains, then place OP. */
+    bool
+    commitStrategy2(OpId op, ClusterId cluster,
+                    const std::vector<ChainOption> &plan)
+    {
+        const int move_lat = machine_.latencyOf(Opcode::Move);
+        std::vector<int> created;
+
+        for (const ChainOption &opt : plan) {
+            int cid =
+                chains_.create(*ddg_, opt.edge, opt.path, move_lat);
+            created.push_back(cid);
+            const Chain &ch = chains_.chain(cid);
+
+            // Grow the height table for the new moves. A move
+            // inherits its producer's height so eviction heuristics
+            // treat it as critical as the value it forwards.
+            heights_.resize(static_cast<size_t>(ddg_->numOps()), 0);
+            std::int64_t h = heights_[static_cast<size_t>(
+                ddg_->edge(opt.edge).src)];
+            for (OpId mv : ch.moves)
+                heights_[static_cast<size_t>(mv)] = h;
+
+            // Paper: "move operations are sequentially scheduled,
+            // starting from the first one after the original
+            // producer". Feasibility was verified above, so a free
+            // slot exists in every intermediate cluster.
+            for (size_t i = 0; i < ch.moves.size(); ++i) {
+                OpId mv = ch.moves[i];
+                Cycle early = std::max<Cycle>(0, ps_->earlyStart(mv));
+                Cycle slot =
+                    ps_->findFreeSlot(mv, ch.clusters[i], early);
+                DMS_ASSERT(slot != kUnscheduled,
+                           "chain feasibility miscounted");
+                bool ok = ps_->tryPlace(mv, slot, ch.clusters[i]);
+                DMS_ASSERT(ok, "chain slot vanished");
+            }
+        }
+
+        // Place OP itself. Copy-class ops share the copy units with
+        // the moves just placed; forcing an eviction there could
+        // knock out our own chain, so require a free slot and
+        // otherwise roll back to strategy 3.
+        Cycle early = ps_->earlyStart(op);
+        Cycle slot = ps_->findFreeSlot(op, cluster, early);
+        if (slot == kUnscheduled) {
+            if (fuClassOf(ddg_->op(op).opc) == FuClass::Copy) {
+                for (int cid : created)
+                    chains_.dissolve(cid, *ddg_, *ps_);
+                return false;
+            }
+            slot = ps_->forcedSlot(op, early);
+        }
+
+        std::vector<OpId> evicted;
+        ps_->placeEvicting(op, slot, cluster, heights_, evicted);
+        for (OpId v : evicted)
+            handleEvicted(v);
+        ejectViolatedSuccessors(op);
+        return true;
+    }
+
+    /**
+     * Strategy 3: IMS-style forced scheduling in an arbitrarily
+     * chosen cluster, ejecting for resource, dependence *and*
+     * communication conflicts.
+     */
+    void
+    strategy3(OpId op)
+    {
+        ClusterId cluster = kInvalidCluster;
+        if (params_.s3Policy == S3ClusterPolicy::PreferCommOk) {
+            for (ClusterId c :
+                 clustersByAffinity(*ddg_, *ps_, machine_, op, variant_)) {
+                if (commOkAt(*ddg_, *ps_, machine_, op, c)) {
+                    cluster = c;
+                    break;
+                }
+            }
+        }
+        if (cluster == kInvalidCluster) {
+            cluster = static_cast<ClusterId>(
+                (op + ps_->placementCount(op) + variant_) %
+                machine_.numClusters());
+        }
+
+        Cycle early = ps_->earlyStart(op);
+        Cycle slot = ps_->findFreeSlot(op, cluster, early);
+        if (slot == kUnscheduled)
+            slot = ps_->forcedSlot(op, early);
+
+        std::vector<OpId> evicted;
+        ps_->placeEvicting(op, slot, cluster, heights_, evicted);
+        for (OpId v : evicted)
+            handleEvicted(v);
+
+        ejectViolatedSuccessors(op);
+
+        // Communication conflicts: eject the far peers.
+        for (OpId peer :
+             commConflictPeers(*ddg_, *ps_, machine_, op)) {
+            if (ps_->isScheduled(peer))
+                backtrackUnschedule(peer);
+        }
+    }
+
+    /** Eject scheduled successors whose dependences now fail. */
+    void
+    ejectViolatedSuccessors(OpId op)
+    {
+        // Re-query after every ejection: dissolving a chain edits
+        // the edge set.
+        while (true) {
+            auto viol = ps_->violatedSuccessors(op);
+            bool any = false;
+            for (OpId v : viol) {
+                if (ps_->isScheduled(v)) {
+                    backtrackUnschedule(v);
+                    any = true;
+                    break;
+                }
+            }
+            if (!any)
+                return;
+        }
+    }
+
+    /**
+     * Post-process an operation that placeEvicting() already pulled
+     * out of the schedule (chain bookkeeping only).
+     */
+    void
+    handleEvicted(OpId victim)
+    {
+        if (ddg_->op(victim).origin == OpOrigin::MoveOp)
+            dissolveMoveChain(victim);
+        else
+            dissolveTouchingChains(victim);
+    }
+
+    /** Chain-aware unschedule of a currently scheduled op. */
+    void
+    backtrackUnschedule(OpId victim)
+    {
+        if (ddg_->op(victim).origin == OpOrigin::MoveOp) {
+            dissolveMoveChain(victim);
+            return;
+        }
+        ps_->unschedule(victim);
+        dissolveTouchingChains(victim);
+    }
+
+    /**
+     * The paper's three dissolution cases. An ejected *move*
+     * dissolves its chain and re-ejects the original consumer:
+     * leaving producer and consumer scheduled in far clusters with
+     * the restored edge would silently break the communication
+     * invariant.
+     */
+    void
+    dissolveMoveChain(OpId mv)
+    {
+        int cid = chains_.chainOfMove(mv);
+        DMS_ASSERT(cid >= 0, "move %d without chain", mv);
+        OpId consumer =
+            ddg_->edge(chains_.chain(cid).originalEdge).dst;
+        chains_.dissolve(cid, *ddg_, *ps_);
+        if (ps_->isScheduled(consumer))
+            backtrackUnschedule(consumer);
+    }
+
+    /**
+     * Ejected producer or consumer: dissolve the chains hanging off
+     * it. The surviving endpoint keeps its slot; the edge endpoints
+     * are no longer both scheduled, so no conflict remains.
+     */
+    void
+    dissolveTouchingChains(OpId endpoint)
+    {
+        for (int cid : chains_.chainsTouching(*ddg_, endpoint))
+            chains_.dissolve(cid, *ddg_, *ps_);
+    }
+
+    const MachineModel &machine_;
+    const DmsParams &params_;
+    const int ii_;
+    const int variant_;
+    std::unique_ptr<Ddg> ddg_;
+    std::unique_ptr<PartialSchedule> ps_;
+    ChainRegistry chains_;
+    Heights heights_;
+};
+
+} // namespace
+
+DmsOutcome
+scheduleDms(const Ddg &ddg, const MachineModel &machine,
+            const DmsParams &params)
+{
+    DMS_ASSERT(machine.clustered(),
+               "DMS targets clustered machines; use scheduleIms for "
+               "the unclustered model");
+
+    DmsOutcome out;
+    out.sched.resMii = resMii(ddg, machine);
+    out.sched.recMii = recMii(ddg);
+    out.sched.mii = std::max(out.sched.resMii, out.sched.recMii);
+    int max_ii = params.maxII > 0 ? params.maxII
+                                  : defaultMaxII(out.sched.mii);
+
+    long budget =
+        static_cast<long>(params.budgetRatio) * ddg.liveOpCount();
+    budget = std::max<long>(budget, 1);
+
+    const int restarts = std::max(1, params.restartsPerII);
+    for (int ii = out.sched.mii; ii <= max_ii; ++ii) {
+        for (int v = 0; v < restarts; ++v) {
+            ++out.sched.attempts;
+            DmsAttempt attempt(ddg, machine, params, ii, v);
+            if (attempt.run(budget, out.sched.budgetUsed)) {
+                out.sched.ok = true;
+                out.sched.ii = ii;
+                out.sched.movesInserted = attempt.liveMoves();
+                out.ddg = attempt.takeDdg();
+                out.sched.schedule = attempt.takeSchedule();
+                return out;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace dms

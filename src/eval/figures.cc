@@ -1,0 +1,123 @@
+#include "eval/figures.h"
+
+#include "support/diag.h"
+
+namespace dms {
+
+double
+totalCycles(const std::vector<LoopRun> &runs,
+            const std::vector<size_t> &set)
+{
+    double total = 0.0;
+    for (size_t i : set) {
+        const LoopRun &r = runs[i];
+        DMS_ASSERT(r.ok, "unscheduled loop in aggregate");
+        // Normalize to original iterations so different unroll
+        // factors stay comparable: cycles per original iteration *
+        // a fixed iteration budget.
+        total += static_cast<double>(r.cycles);
+    }
+    return total;
+}
+
+double
+aggregateIpc(const std::vector<LoopRun> &runs,
+             const std::vector<size_t> &set)
+{
+    double issues = 0.0;
+    double cycles = 0.0;
+    for (size_t i : set) {
+        const LoopRun &r = runs[i];
+        DMS_ASSERT(r.ok, "unscheduled loop in aggregate");
+        issues += static_cast<double>(r.usefulIssues);
+        cycles += static_cast<double>(r.cycles);
+    }
+    return cycles > 0.0 ? issues / cycles : 0.0;
+}
+
+Table
+figure4(const std::vector<Loop> &suite,
+        const std::vector<ConfigRun> &matrix)
+{
+    auto set1 = selectSet(suite, LoopSet::Set1);
+    Table t("Figure 4: loops with II increase due to partitioning");
+    t.header({"clusters", "FUs", "loops", "II_increased",
+              "fraction", "avg_II_overhead"});
+    for (const ConfigRun &cfg : matrix) {
+        int increased = 0;
+        double overhead_sum = 0.0;
+        for (size_t i : set1) {
+            const LoopRun &u = cfg.unclustered[i];
+            const LoopRun &d = cfg.clustered[i];
+            DMS_ASSERT(u.ok && d.ok, "failed loop %zu at %d "
+                       "clusters", i, cfg.clusters);
+            if (d.ii > u.ii) {
+                ++increased;
+                overhead_sum +=
+                    static_cast<double>(d.ii - u.ii) / u.ii;
+            }
+        }
+        double frac =
+            static_cast<double>(increased) /
+            static_cast<double>(set1.size());
+        double avg_over =
+            increased > 0 ? overhead_sum / increased : 0.0;
+        t.row({Table::num(cfg.clusters),
+               Table::num(cfg.clusters * 3),
+               Table::num(static_cast<int>(set1.size())),
+               Table::num(increased), Table::pct(frac),
+               Table::pct(avg_over)});
+    }
+    return t;
+}
+
+Table
+figure5(const std::vector<Loop> &suite,
+        const std::vector<ConfigRun> &matrix)
+{
+    auto set1 = selectSet(suite, LoopSet::Set1);
+    auto set2 = selectSet(suite, LoopSet::Set2);
+    DMS_ASSERT(!matrix.empty(), "empty matrix");
+
+    double base1 = totalCycles(matrix[0].unclustered, set1);
+    double base2 = totalCycles(matrix[0].unclustered, set2);
+
+    Table t("Figure 5: execution cycles (relative, 3-FU unclustered "
+            "= 100)");
+    t.header({"FUs", "set1_unclustered", "set1_clustered",
+              "set2_unclustered", "set2_clustered"});
+    for (const ConfigRun &cfg : matrix) {
+        t.row({Table::num(cfg.clusters * 3),
+               Table::num(100.0 *
+                          totalCycles(cfg.unclustered, set1) / base1),
+               Table::num(100.0 *
+                          totalCycles(cfg.clustered, set1) / base1),
+               Table::num(100.0 *
+                          totalCycles(cfg.unclustered, set2) / base2),
+               Table::num(100.0 *
+                          totalCycles(cfg.clustered, set2) / base2)});
+    }
+    return t;
+}
+
+Table
+figure6(const std::vector<Loop> &suite,
+        const std::vector<ConfigRun> &matrix)
+{
+    auto set1 = selectSet(suite, LoopSet::Set1);
+    auto set2 = selectSet(suite, LoopSet::Set2);
+
+    Table t("Figure 6: IPC (useful instructions per cycle)");
+    t.header({"FUs", "set1_unclustered", "set1_clustered",
+              "set2_unclustered", "set2_clustered"});
+    for (const ConfigRun &cfg : matrix) {
+        t.row({Table::num(cfg.clusters * 3),
+               Table::num(aggregateIpc(cfg.unclustered, set1)),
+               Table::num(aggregateIpc(cfg.clustered, set1)),
+               Table::num(aggregateIpc(cfg.unclustered, set2)),
+               Table::num(aggregateIpc(cfg.clustered, set2))});
+    }
+    return t;
+}
+
+} // namespace dms

@@ -1,0 +1,49 @@
+#ifndef DMS_EVAL_FIGURES_H
+#define DMS_EVAL_FIGURES_H
+
+/**
+ * @file
+ * Figure/table generation for the paper's three evaluation figures.
+ * Each function turns matrix results into the same rows/series the
+ * paper plots.
+ */
+
+#include "eval/runner.h"
+#include "support/table.h"
+
+namespace dms {
+
+/**
+ * Figure 4: fraction of loops whose II increases due to
+ * partitioning (DMS on C clusters vs IMS on the equal-width
+ * unclustered machine), per cluster count.
+ */
+Table figure4(const std::vector<Loop> &suite,
+              const std::vector<ConfigRun> &matrix);
+
+/**
+ * Figure 5: total execution cycles (relative, 3-FU unclustered =
+ * 100 within each set) for set 1 and set 2 on both machines, per
+ * FU count.
+ */
+Table figure5(const std::vector<Loop> &suite,
+              const std::vector<ConfigRun> &matrix);
+
+/**
+ * Figure 6: useful IPC (dynamic, prologue/epilogue included via
+ * the iteration count) for set 1 and set 2 on both machines.
+ */
+Table figure6(const std::vector<Loop> &suite,
+              const std::vector<ConfigRun> &matrix);
+
+/** Aggregate cycles over one loop set. */
+double totalCycles(const std::vector<LoopRun> &runs,
+                   const std::vector<size_t> &set);
+
+/** Aggregate useful IPC over one loop set. */
+double aggregateIpc(const std::vector<LoopRun> &runs,
+                    const std::vector<size_t> &set);
+
+} // namespace dms
+
+#endif // DMS_EVAL_FIGURES_H

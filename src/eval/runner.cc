@@ -1,0 +1,119 @@
+#include "eval/runner.h"
+
+#include <cstdlib>
+
+#include "ir/prepass.h"
+#include "sched/verifier.h"
+#include "support/diag.h"
+#include "workload/unroll_policy.h"
+
+namespace dms {
+
+namespace {
+
+long
+iterationsFor(const Loop &loop, int unroll_factor)
+{
+    long iters = (loop.tripCount + unroll_factor - 1) /
+                 unroll_factor;
+    return std::max<long>(iters, 1);
+}
+
+void
+fillPerf(LoopRun &run, const Ddg &ddg, const PartialSchedule &ps)
+{
+    run.stageCount = ps.maxTime() / ps.ii() + 1;
+    run.cycles = (run.iterations + run.stageCount - 1) *
+                 static_cast<long>(ps.ii());
+    run.usefulIssues =
+        static_cast<long>(ddg.usefulOpCount()) * run.iterations;
+}
+
+} // namespace
+
+LoopRun
+runLoopUnclustered(const Loop &loop, int width_clusters,
+                   const SchedParams &params, bool verify)
+{
+    MachineModel machine = MachineModel::unclustered(width_clusters);
+    Ddg body = applyUnrollPolicy(loop.ddg, machine);
+
+    LoopRun run;
+    run.unrollFactor = body.unrollFactor();
+    run.iterations = iterationsFor(loop, run.unrollFactor);
+
+    SchedOutcome out = scheduleIms(body, machine, params);
+    run.ok = out.ok;
+    run.mii = out.mii;
+    if (!out.ok)
+        return run;
+    run.ii = out.ii;
+    if (verify)
+        checkSchedule(body, machine, *out.schedule);
+    fillPerf(run, body, *out.schedule);
+    return run;
+}
+
+LoopRun
+runLoopClustered(const Loop &loop, int clusters,
+                 const DmsParams &params, bool verify, int copy_fus)
+{
+    MachineModel machine =
+        MachineModel::clusteredRing(clusters, copy_fus);
+    Ddg body = applyUnrollPolicy(loop.ddg, machine);
+    PrepassStats pp = singleUsePrepass(
+        body, machine.latencyOf(Opcode::Copy));
+
+    LoopRun run;
+    run.unrollFactor = body.unrollFactor();
+    run.copiesInserted = pp.copiesInserted;
+    run.iterations = iterationsFor(loop, run.unrollFactor);
+
+    DmsOutcome out = scheduleDms(body, machine, params);
+    run.ok = out.sched.ok;
+    run.mii = out.sched.mii;
+    if (!out.sched.ok)
+        return run;
+    run.ii = out.sched.ii;
+    run.movesInserted = out.sched.movesInserted;
+    if (verify)
+        checkSchedule(*out.ddg, machine, *out.sched.schedule);
+    fillPerf(run, *out.ddg, *out.sched.schedule);
+    return run;
+}
+
+std::vector<ConfigRun>
+runMatrix(const std::vector<Loop> &suite, const RunnerOptions &opts)
+{
+    std::vector<ConfigRun> matrix;
+    for (int c = 1; c <= opts.maxClusters; ++c) {
+        ConfigRun cfg;
+        cfg.clusters = c;
+        cfg.unclustered.reserve(suite.size());
+        cfg.clustered.reserve(suite.size());
+        for (const Loop &loop : suite) {
+            cfg.unclustered.push_back(runLoopUnclustered(
+                loop, c, opts.ims, opts.verify));
+            cfg.clustered.push_back(runLoopClustered(
+                loop, c, opts.dms, opts.verify));
+        }
+        if (opts.progress) {
+            inform("runMatrix: %d cluster(s) done (%zu loops)", c,
+                   suite.size());
+        }
+        matrix.push_back(std::move(cfg));
+    }
+    return matrix;
+}
+
+int
+suiteCountFromEnv(int fallback)
+{
+    const char *s = std::getenv("DMS_SUITE_COUNT");
+    if (s == nullptr)
+        return fallback;
+    int v = std::atoi(s);
+    return v > 0 ? v : fallback;
+}
+
+} // namespace dms

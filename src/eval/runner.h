@@ -1,0 +1,87 @@
+#ifndef DMS_EVAL_RUNNER_H
+#define DMS_EVAL_RUNNER_H
+
+/**
+ * @file
+ * Experiment runner shared by all bench binaries: schedules every
+ * loop of a suite on the clustered machine (DMS) and the
+ * equal-width unclustered machine (IMS), after the same unrolling,
+ * exactly like the paper's figures 4-6 setup.
+ */
+
+#include <vector>
+
+#include "core/dms.h"
+#include "workload/suite.h"
+
+namespace dms {
+
+/** One loop scheduled on one configuration. */
+struct LoopRun
+{
+    bool ok = false;
+    int ii = 0;
+    int mii = 0;
+    int stageCount = 0;
+    int unrollFactor = 1;
+    int movesInserted = 0;
+    int copiesInserted = 0;
+
+    /** Body iterations executed (tripCount / unrollFactor, >=1). */
+    long iterations = 0;
+
+    /** Total cycles via the modulo-schedule cycle model. */
+    long cycles = 0;
+
+    /** Useful instructions issued over the whole run. */
+    long usefulIssues = 0;
+};
+
+/** Suite results for one cluster count. */
+struct ConfigRun
+{
+    int clusters = 0;
+    std::vector<LoopRun> unclustered; ///< IMS, equal width
+    std::vector<LoopRun> clustered;   ///< DMS
+};
+
+/** Runner switches. */
+struct RunnerOptions
+{
+    int maxClusters = 10;
+    DmsParams dms;
+    SchedParams ims;
+
+    /** Verify every schedule (panic on an illegal one). */
+    bool verify = true;
+
+    /** Progress lines on stderr. */
+    bool progress = true;
+};
+
+/** Schedule one loop with IMS on the unclustered width-C machine. */
+LoopRun runLoopUnclustered(const Loop &loop, int width_clusters,
+                           const SchedParams &params, bool verify);
+
+/** Schedule one loop with DMS on the C-cluster ring. */
+LoopRun runLoopClustered(const Loop &loop, int clusters,
+                         const DmsParams &params, bool verify,
+                         int copy_fus = 1);
+
+/**
+ * The full matrix: for every cluster count in [1, maxClusters],
+ * every loop on both machines. This is the data behind figures
+ * 4, 5 and 6.
+ */
+std::vector<ConfigRun> runMatrix(const std::vector<Loop> &suite,
+                                 const RunnerOptions &opts = {});
+
+/**
+ * Suite size override for quick runs: reads the DMS_SUITE_COUNT
+ * environment variable (defaults to @p fallback).
+ */
+int suiteCountFromEnv(int fallback = 1258);
+
+} // namespace dms
+
+#endif // DMS_EVAL_RUNNER_H

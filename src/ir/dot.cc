@@ -1,0 +1,55 @@
+#include "ir/dot.h"
+
+#include "support/diag.h"
+
+namespace dms {
+
+std::string
+ddgToDot(const Ddg &ddg, const std::string &name)
+{
+    std::string out = "digraph " + name + " {\n";
+    out += "  node [shape=box, fontname=monospace];\n";
+    for (OpId id = 0; id < ddg.numOps(); ++id) {
+        if (!ddg.opLive(id))
+            continue;
+        const Operation &o = ddg.op(id);
+        const char *color =
+            o.origin == OpOrigin::MoveOp ? "lightblue" :
+            o.origin == OpOrigin::CopyOp ? "lightyellow" : "white";
+        out += strfmt("  n%d [label=\"%s\", style=filled, "
+                      "fillcolor=%s];\n",
+                      id, ddg.opLabel(id).c_str(), color);
+    }
+    for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
+        if (!ddg.edgeLive(e))
+            continue;
+        const Edge &ed = ddg.edge(e);
+        std::string attrs;
+        switch (ed.kind) {
+          case DepKind::Flow:
+            attrs = ed.replaced ? "style=dotted, color=gray"
+                                : "color=black";
+            break;
+          case DepKind::Anti:
+            attrs = "color=red, style=dashed";
+            break;
+          case DepKind::Output:
+            attrs = "color=purple, style=dashed";
+            break;
+          case DepKind::Memory:
+            attrs = "color=brown, style=dashed";
+            break;
+        }
+        std::string label;
+        if (ed.distance > 0)
+            label = strfmt("d=%d", ed.distance);
+        out += strfmt("  n%d -> n%d [%s%s%s];\n", ed.src, ed.dst,
+                      attrs.c_str(),
+                      label.empty() ? "" : ", label=\"",
+                      label.empty() ? "" : (label + "\"").c_str());
+    }
+    out += "}\n";
+    return out;
+}
+
+} // namespace dms

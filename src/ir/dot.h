@@ -1,0 +1,20 @@
+#ifndef DMS_IR_DOT_H
+#define DMS_IR_DOT_H
+
+/**
+ * @file
+ * Graphviz DOT export of a DDG, for debugging and documentation.
+ */
+
+#include <string>
+
+#include "ir/ddg.h"
+
+namespace dms {
+
+/** Render the DDG as a DOT digraph named @p name. */
+std::string ddgToDot(const Ddg &ddg, const std::string &name = "ddg");
+
+} // namespace dms
+
+#endif // DMS_IR_DOT_H

@@ -1,0 +1,48 @@
+#ifndef DMS_IR_PREPASS_H
+#define DMS_IR_PREPASS_H
+
+/**
+ * @file
+ * Single-use lifetime pre-pass (paper section 3, last paragraph).
+ *
+ * The CQRF/LRF queue files allow a value to be read only once from
+ * any of their FIFO queues, so prior to modulo scheduling "all
+ * multiple-use lifetimes are transformed into single-use lifetimes
+ * using copy operations". The transformation also limits the number
+ * of immediate flow successors of any operation to two (one LRF
+ * destination plus one CQRF destination), which is what keeps
+ * partitioning among limited-connectivity clusters tractable.
+ */
+
+#include "ir/ddg.h"
+
+namespace dms {
+
+/** Statistics reported by the pre-pass. */
+struct PrepassStats
+{
+    int copiesInserted = 0;
+    int opsRewritten = 0;
+};
+
+/**
+ * Rewrite every operation with flow fan-out > @p max_fanout into a
+ * chain of Copy operations so that no operation has more than
+ * @p max_fanout flow successors.
+ *
+ * Consumers are attached in ascending iteration-distance order:
+ * loop-carried uses have II*distance cycles of natural slack, so
+ * they tolerate the extra copy latency deeper in the chain, while
+ * the tightest (distance-0) use stays attached to the producer.
+ * All producer->copy edges carry distance 0; each consumer keeps its
+ * original distance and operand slot on the final hop.
+ *
+ * @param copy_latency latency of the inserted Copy operations.
+ * @return statistics about the rewrite.
+ */
+PrepassStats singleUsePrepass(Ddg &ddg, int copy_latency,
+                              int max_fanout = 2);
+
+} // namespace dms
+
+#endif // DMS_IR_PREPASS_H

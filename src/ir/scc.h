@@ -1,0 +1,32 @@
+#ifndef DMS_IR_SCC_H
+#define DMS_IR_SCC_H
+
+/**
+ * @file
+ * Strongly-connected components of a DDG (Tarjan). Recurrences —
+ * the loops of the dependence graph — live inside non-trivial SCCs;
+ * RecMII is computed per SCC and set 2 of the paper's evaluation is
+ * exactly the loops whose DDGs have no non-trivial SCC.
+ */
+
+#include <vector>
+
+#include "ir/ddg.h"
+
+namespace dms {
+
+/** One strongly-connected component: the member op ids. */
+using Scc = std::vector<OpId>;
+
+/**
+ * All SCCs over live ops and active edges (every dependence kind
+ * participates; any kind of cycle constrains the II).
+ */
+std::vector<Scc> stronglyConnectedComponents(const Ddg &ddg);
+
+/** True if the DDG contains a dependence cycle (a recurrence). */
+bool hasRecurrence(const Ddg &ddg);
+
+} // namespace dms
+
+#endif // DMS_IR_SCC_H

@@ -1,0 +1,63 @@
+#include "ir/unroll.h"
+
+#include "support/diag.h"
+
+namespace dms {
+
+Ddg
+unrollDdg(const Ddg &ddg, int factor)
+{
+    DMS_ASSERT(factor >= 1, "bad unroll factor %d", factor);
+    DMS_ASSERT(ddg.unrollFactor() == 1, "re-unrolling a body");
+
+    Ddg out;
+    out.setUnrollFactor(factor);
+
+    // new id of (original op, copy j); -1 for dead originals.
+    std::vector<std::vector<OpId>> ids(
+        static_cast<size_t>(ddg.numOps()),
+        std::vector<OpId>(static_cast<size_t>(factor), kInvalidOp));
+
+    for (OpId id = 0; id < ddg.numOps(); ++id) {
+        if (!ddg.opLive(id))
+            continue;
+        const Operation &o = ddg.op(id);
+        DMS_ASSERT(o.origin == OpOrigin::Original,
+                   "unrolling a transformed body (op %d)", id);
+        for (int j = 0; j < factor; ++j) {
+            OpId nid = out.addOp(o.opc, o.origin);
+            Operation &n = out.op(nid);
+            n.origId = o.origId;
+            n.iterOffset = j;
+            n.memStream = o.memStream;
+            n.memOffset = o.memOffset;
+            n.literal = o.literal;
+            ids[static_cast<size_t>(id)][static_cast<size_t>(j)] = nid;
+        }
+    }
+
+    for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
+        if (!ddg.edgeLive(e))
+            continue;
+        const Edge &ed = ddg.edge(e);
+        DMS_ASSERT(!ed.replaced, "unrolling a body with chains");
+        for (int j = 0; j < factor; ++j) {
+            // Consumer copy j consumes from producer copy j', where
+            // j' = (j - d) mod f, carried (d - j + j') / f new
+            // iterations back.
+            int jp = ((j - ed.distance) % factor + factor) % factor;
+            int ndist = (ed.distance - j + jp) / factor;
+            DMS_ASSERT(ndist >= 0, "negative unrolled distance");
+            OpId src =
+                ids[static_cast<size_t>(ed.src)][static_cast<size_t>(jp)];
+            OpId dst =
+                ids[static_cast<size_t>(ed.dst)][static_cast<size_t>(j)];
+            out.addEdge(src, dst, ed.kind, ndist, ed.latency,
+                        ed.operandIndex);
+        }
+    }
+
+    return out;
+}
+
+} // namespace dms

@@ -1,0 +1,54 @@
+#ifndef DMS_IR_VERIFY_H
+#define DMS_IR_VERIFY_H
+
+/**
+ * @file
+ * Structural DDG verification. Run after construction and after
+ * every transform; a valid DDG is a precondition of the schedulers.
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/ddg.h"
+
+namespace dms {
+
+/** Options controlling which DDG invariants are enforced. */
+struct DdgVerifyOptions
+{
+    /**
+     * Enforce flow fan-out <= limit (the queue-file single-use
+     * property after the copy pre-pass). <= 0 disables the check.
+     */
+    int maxFlowFanout = 0;
+};
+
+/**
+ * Check structural invariants:
+ *  - adjacency lists and edge endpoints are consistent and live;
+ *  - no operand slot of an op is fed by two active flow edges, and
+ *    slots are within the opcode's arity;
+ *  - every dependence cycle has positive total distance (a zero-
+ *    distance cycle cannot be executed by any schedule);
+ *  - replaced edges are flow edges between live ops;
+ *  - optional fan-out bound (see options).
+ *
+ * @return list of human-readable problems; empty means valid.
+ */
+std::vector<std::string> verifyDdg(const Ddg &ddg,
+                                   const DdgVerifyOptions &opts = {});
+
+/** Convenience: panic with the first problem if the DDG is invalid. */
+void checkDdg(const Ddg &ddg, const DdgVerifyOptions &opts = {});
+
+/**
+ * Topological order of live ops over zero-distance active edges.
+ * Panics if a zero-distance cycle exists (verifyDdg reports it
+ * first in normal flows).
+ */
+std::vector<OpId> topoOrderZeroDistance(const Ddg &ddg);
+
+} // namespace dms
+
+#endif // DMS_IR_VERIFY_H

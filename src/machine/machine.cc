@@ -1,0 +1,69 @@
+#include "machine/machine.h"
+
+#include "support/diag.h"
+
+namespace dms {
+
+MachineModel
+MachineModel::clusteredRing(int clusters, int copy_fus)
+{
+    DMS_ASSERT(clusters >= 1, "need at least one cluster");
+    DMS_ASSERT(copy_fus >= 1, "clustered machine needs copy units");
+    MachineModel m;
+    m.num_clusters_ = clusters;
+    m.rf_kind_ = RegFileKind::Queues;
+    m.fus_per_cluster_[static_cast<int>(FuClass::LdSt)] = 1;
+    m.fus_per_cluster_[static_cast<int>(FuClass::Add)] = 1;
+    m.fus_per_cluster_[static_cast<int>(FuClass::Mul)] = 1;
+    m.fus_per_cluster_[static_cast<int>(FuClass::Copy)] = copy_fus;
+    return m;
+}
+
+MachineModel
+MachineModel::unclustered(int width_clusters)
+{
+    DMS_ASSERT(width_clusters >= 1, "need positive width");
+    MachineModel m;
+    m.num_clusters_ = 1;
+    m.rf_kind_ = RegFileKind::Conventional;
+    m.fus_per_cluster_[static_cast<int>(FuClass::LdSt)] =
+        width_clusters;
+    m.fus_per_cluster_[static_cast<int>(FuClass::Add)] =
+        width_clusters;
+    m.fus_per_cluster_[static_cast<int>(FuClass::Mul)] =
+        width_clusters;
+    m.fus_per_cluster_[static_cast<int>(FuClass::Copy)] = 0;
+    return m;
+}
+
+int
+MachineModel::fusPerCluster(FuClass cls) const
+{
+    return fus_per_cluster_[static_cast<int>(cls)];
+}
+
+int
+MachineModel::totalFus(FuClass cls) const
+{
+    return fusPerCluster(cls) * num_clusters_;
+}
+
+int
+MachineModel::usefulFuCount() const
+{
+    return totalFus(FuClass::LdSt) + totalFus(FuClass::Add) +
+           totalFus(FuClass::Mul);
+}
+
+std::string
+MachineModel::describe() const
+{
+    if (clustered()) {
+        return strfmt("%d-cluster ring (%d useful FUs, %d copy/cl)",
+                      num_clusters_, usefulFuCount(),
+                      fusPerCluster(FuClass::Copy));
+    }
+    return strfmt("unclustered (%d useful FUs)", usefulFuCount());
+}
+
+} // namespace dms

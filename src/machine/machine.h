@@ -1,0 +1,119 @@
+#ifndef DMS_MACHINE_MACHINE_H
+#define DMS_MACHINE_MACHINE_H
+
+/**
+ * @file
+ * Machine description for the clustered VLIW architecture of paper
+ * section 2: a collection of clusters connected in a bidirectional
+ * ring, each with a small set of functional units and a private
+ * queue register file (LRF), adjacent clusters communicating through
+ * Communication Queue Register Files (CQRFs). The same description
+ * also expresses the unclustered reference machine (one cluster, a
+ * conventional multi-read register file, no copy units).
+ */
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.h"
+#include "support/types.h"
+
+namespace dms {
+
+/**
+ * Register-file organization of a machine. Queue files impose the
+ * single-use property (copy pre-pass) and communication constraints;
+ * the conventional file does not.
+ */
+enum class RegFileKind : std::uint8_t {
+    Conventional,  ///< central multi-ported RF (unclustered baseline)
+    Queues,        ///< LRF/CQRF queue files (the paper's proposal)
+};
+
+/** Machine configuration and ring topology. */
+class MachineModel
+{
+  public:
+    /**
+     * The paper's clustered configuration: @p clusters clusters,
+     * each with 1 L/S + 1 ADD + 1 MUL plus @p copy_fus copy units
+     * (1 in the paper; more models the "additional hardware
+     * support" the conclusions suggest).
+     */
+    static MachineModel clusteredRing(int clusters, int copy_fus = 1);
+
+    /**
+     * Unclustered machine of equal width: a single cluster holding
+     * @p width_clusters of each useful FU, a conventional register
+     * file, no copy units, no communication constraints.
+     */
+    static MachineModel unclustered(int width_clusters);
+
+    /** @name Shape */
+    /// @{
+    int numClusters() const { return num_clusters_; }
+    bool clustered() const { return rf_kind_ == RegFileKind::Queues; }
+    RegFileKind regFileKind() const { return rf_kind_; }
+
+    /** FUs of one class inside one cluster. */
+    int fusPerCluster(FuClass cls) const;
+
+    /** Total FUs of one class across the machine. */
+    int totalFus(FuClass cls) const;
+
+    /** Total useful FUs (excludes copy units), the paper's x-axis. */
+    int usefulFuCount() const;
+    /// @}
+
+    /** @name Latencies */
+    /// @{
+    const LatencyModel &latency() const { return lat_; }
+    LatencyModel &latency() { return lat_; }
+    int latencyOf(Opcode opc) const { return lat_.of(opc); }
+    /// @}
+
+    /** @name Ring topology */
+    /// @{
+
+    /** Minimal hop count between clusters (over either direction). */
+    int ringDistance(ClusterId a, ClusterId b) const;
+
+    /**
+     * Directly connected: same cluster or ring neighbours. A flow
+     * dependence between directly connected clusters needs no move
+     * operations (it maps onto the LRF or one CQRF).
+     */
+    bool directlyConnected(ClusterId a, ClusterId b) const;
+
+    /** Hops from @p a to @p b walking in @p dir (+1 or -1). */
+    int hopsAlong(ClusterId a, ClusterId b, int dir) const;
+
+    /** Next cluster from @p c walking in @p dir (+1 or -1). */
+    ClusterId neighbor(ClusterId c, int dir) const;
+
+    /**
+     * Clusters strictly between @p a and @p b walking in @p dir —
+     * the clusters whose copy units must host the move operations
+     * of a chain from a producer in @p a to a consumer in @p b
+     * (paper figure 3 shows the two options).
+     */
+    std::vector<ClusterId> pathBetween(ClusterId a, ClusterId b,
+                                       int dir) const;
+    /// @}
+
+    /** Human-readable description, e.g. "4-cluster ring (12 FUs)". */
+    std::string describe() const;
+
+  private:
+    MachineModel() = default;
+
+    int num_clusters_ = 1;
+    RegFileKind rf_kind_ = RegFileKind::Conventional;
+    std::array<int, kNumFuClasses> fus_per_cluster_ = {1, 1, 1, 0};
+    LatencyModel lat_;
+};
+
+} // namespace dms
+
+#endif // DMS_MACHINE_MACHINE_H

@@ -1,0 +1,110 @@
+#include "machine/reservation.h"
+
+#include "support/diag.h"
+
+namespace dms {
+
+ReservationTable::ReservationTable(const MachineModel &machine, int ii)
+    : machine_(machine), ii_(ii)
+{
+    DMS_ASSERT(ii >= 1, "bad II %d", ii);
+    block_.resize(
+        static_cast<size_t>(machine.numClusters()) * kNumFuClasses);
+    int off = 0;
+    for (ClusterId c = 0; c < machine.numClusters(); ++c) {
+        for (int cls = 0; cls < kNumFuClasses; ++cls) {
+            block_[static_cast<size_t>(c) * kNumFuClasses +
+                   static_cast<size_t>(cls)] = off;
+            off += machine.fusPerCluster(static_cast<FuClass>(cls)) *
+                   ii_;
+        }
+    }
+    slots_.assign(static_cast<size_t>(off), kInvalidOp);
+}
+
+size_t
+ReservationTable::index(ClusterId cluster, FuClass cls, int instance,
+                        int row) const
+{
+    DMS_ASSERT(cluster >= 0 && cluster < machine_.numClusters(),
+               "bad cluster %d", cluster);
+    DMS_ASSERT(row >= 0 && row < ii_, "bad row %d", row);
+    int per = machine_.fusPerCluster(cls);
+    DMS_ASSERT(instance >= 0 && instance < per,
+               "bad instance %d of class %s", instance,
+               fuClassName(cls));
+    int base = block_[static_cast<size_t>(cluster) * kNumFuClasses +
+                      static_cast<size_t>(cls)];
+    return static_cast<size_t>(base + instance * ii_ + row);
+}
+
+OpId
+ReservationTable::at(ClusterId cluster, FuClass cls, int instance,
+                     int row) const
+{
+    return slots_[index(cluster, cls, instance, row)];
+}
+
+int
+ReservationTable::freeInstance(ClusterId cluster, FuClass cls,
+                               int row) const
+{
+    int per = machine_.fusPerCluster(cls);
+    for (int i = 0; i < per; ++i) {
+        if (at(cluster, cls, i, row) == kInvalidOp)
+            return i;
+    }
+    return -1;
+}
+
+void
+ReservationTable::place(OpId op, ClusterId cluster, FuClass cls,
+                        int instance, int row)
+{
+    size_t idx = index(cluster, cls, instance, row);
+    DMS_ASSERT(slots_[idx] == kInvalidOp,
+               "slot (c%d,%s,%d,row%d) already holds op%d", cluster,
+               fuClassName(cls), instance, row, slots_[idx]);
+    slots_[idx] = op;
+}
+
+void
+ReservationTable::clear(OpId op, ClusterId cluster, FuClass cls,
+                        int instance, int row)
+{
+    size_t idx = index(cluster, cls, instance, row);
+    DMS_ASSERT(slots_[idx] == op,
+               "slot (c%d,%s,%d,row%d) holds op%d, not op%d", cluster,
+               fuClassName(cls), instance, row, slots_[idx], op);
+    slots_[idx] = kInvalidOp;
+}
+
+int
+ReservationTable::freeSlotCount(ClusterId cluster, FuClass cls) const
+{
+    int per = machine_.fusPerCluster(cls);
+    int free_slots = 0;
+    for (int i = 0; i < per; ++i) {
+        for (int row = 0; row < ii_; ++row) {
+            if (at(cluster, cls, i, row) == kInvalidOp)
+                ++free_slots;
+        }
+    }
+    return free_slots;
+}
+
+std::vector<OpId>
+ReservationTable::occupants(ClusterId cluster, FuClass cls,
+                            int row) const
+{
+    std::vector<OpId> out;
+    int per = machine_.fusPerCluster(cls);
+    for (int i = 0; i < per; ++i) {
+        OpId o = at(cluster, cls, i, row);
+        if (o != kInvalidOp)
+            out.push_back(o);
+    }
+    return out;
+}
+
+} // namespace dms

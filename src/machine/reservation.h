@@ -1,0 +1,76 @@
+#ifndef DMS_MACHINE_RESERVATION_H
+#define DMS_MACHINE_RESERVATION_H
+
+/**
+ * @file
+ * Modulo reservation table (MRT). Modulo scheduling requires that
+ * an operation issued at absolute time t occupies its functional
+ * unit in row t mod II; two operations conflict iff they need the
+ * same (cluster, FU class, FU instance, row). FUs are fully
+ * pipelined, so one issue occupies one row (see DESIGN.md).
+ */
+
+#include <vector>
+
+#include "ir/opcode.h"
+#include "machine/machine.h"
+#include "support/types.h"
+
+namespace dms {
+
+/** Modulo reservation table for one II. */
+class ReservationTable
+{
+  public:
+    ReservationTable(const MachineModel &machine, int ii);
+
+    int ii() const { return ii_; }
+
+    /** Occupant of a slot, or kInvalidOp. */
+    OpId at(ClusterId cluster, FuClass cls, int instance,
+            int row) const;
+
+    /** First free instance at (cluster, cls, row), or -1. */
+    int freeInstance(ClusterId cluster, FuClass cls, int row) const;
+
+    /** True if some instance is free at (cluster, cls, row). */
+    bool
+    hasFree(ClusterId cluster, FuClass cls, int row) const
+    {
+        return freeInstance(cluster, cls, row) >= 0;
+    }
+
+    /** Place an op; the slot must be empty. */
+    void place(OpId op, ClusterId cluster, FuClass cls, int instance,
+               int row);
+
+    /** Clear a slot; it must hold @p op. */
+    void clear(OpId op, ClusterId cluster, FuClass cls, int instance,
+               int row);
+
+    /**
+     * Number of free (instance, row) slots of a class in a cluster —
+     * the quantity DMS maximizes when choosing between the two chain
+     * directions ("the number of free slots left available to
+     * schedule move operations in any cluster").
+     */
+    int freeSlotCount(ClusterId cluster, FuClass cls) const;
+
+    /** Occupants of every instance at (cluster, cls, row). */
+    std::vector<OpId> occupants(ClusterId cluster, FuClass cls,
+                                int row) const;
+
+  private:
+    size_t index(ClusterId cluster, FuClass cls, int instance,
+                 int row) const;
+
+    const MachineModel &machine_;
+    int ii_;
+    /** Start offset of each (cluster, class) block in slots_. */
+    std::vector<int> block_;
+    std::vector<OpId> slots_;
+};
+
+} // namespace dms
+
+#endif // DMS_MACHINE_RESERVATION_H

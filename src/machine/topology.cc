@@ -1,0 +1,55 @@
+#include "machine/machine.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+
+namespace dms {
+
+int
+MachineModel::ringDistance(ClusterId a, ClusterId b) const
+{
+    DMS_ASSERT(a >= 0 && a < num_clusters_, "bad cluster %d", a);
+    DMS_ASSERT(b >= 0 && b < num_clusters_, "bad cluster %d", b);
+    int d = std::abs(a - b);
+    return std::min(d, num_clusters_ - d);
+}
+
+bool
+MachineModel::directlyConnected(ClusterId a, ClusterId b) const
+{
+    return ringDistance(a, b) <= 1;
+}
+
+int
+MachineModel::hopsAlong(ClusterId a, ClusterId b, int dir) const
+{
+    DMS_ASSERT(dir == 1 || dir == -1, "bad direction %d", dir);
+    DMS_ASSERT(a >= 0 && a < num_clusters_, "bad cluster %d", a);
+    DMS_ASSERT(b >= 0 && b < num_clusters_, "bad cluster %d", b);
+    int delta = dir > 0 ? b - a : a - b;
+    return ((delta % num_clusters_) + num_clusters_) % num_clusters_;
+}
+
+ClusterId
+MachineModel::neighbor(ClusterId c, int dir) const
+{
+    DMS_ASSERT(dir == 1 || dir == -1, "bad direction %d", dir);
+    int n = (c + dir + num_clusters_) % num_clusters_;
+    return static_cast<ClusterId>(n);
+}
+
+std::vector<ClusterId>
+MachineModel::pathBetween(ClusterId a, ClusterId b, int dir) const
+{
+    std::vector<ClusterId> mid;
+    int hops = hopsAlong(a, b, dir);
+    ClusterId c = a;
+    for (int i = 1; i < hops; ++i) {
+        c = neighbor(c, dir);
+        mid.push_back(c);
+    }
+    return mid;
+}
+
+} // namespace dms

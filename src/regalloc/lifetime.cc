@@ -1,0 +1,54 @@
+#include "regalloc/lifetime.h"
+
+#include "support/diag.h"
+
+namespace dms {
+
+std::vector<Lifetime>
+computeLifetimes(const Ddg &ddg, const MachineModel &machine,
+                 const PartialSchedule &ps)
+{
+    std::vector<Lifetime> out;
+    const int ii = ps.ii();
+
+    for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
+        if (!ddg.edgeActive(e))
+            continue;
+        const Edge &ed = ddg.edge(e);
+        if (ed.kind != DepKind::Flow)
+            continue;
+        if (!ps.isScheduled(ed.src) || !ps.isScheduled(ed.dst))
+            continue;
+
+        Lifetime lt;
+        lt.edge = e;
+        lt.def = ed.src;
+        lt.use = ed.dst;
+        lt.span = ps.timeOf(ed.dst) + ii * ed.distance -
+                  ps.timeOf(ed.src) - ed.latency;
+        DMS_ASSERT(lt.span >= 0,
+                   "negative lifetime span on edge %s->%s",
+                   ddg.opLabel(ed.src).c_str(),
+                   ddg.opLabel(ed.dst).c_str());
+        lt.depth = lt.span / ii + 1;
+
+        ClusterId cs = ps.clusterOf(ed.src);
+        ClusterId cd = ps.clusterOf(ed.dst);
+        if (cs == cd) {
+            lt.location = QueueLocation::Lrf;
+            lt.cluster = cs;
+        } else {
+            DMS_ASSERT(machine.ringDistance(cs, cd) == 1,
+                       "lifetime spans %d hops",
+                       machine.ringDistance(cs, cd));
+            lt.location = QueueLocation::Cqrf;
+            lt.cluster = cs;
+            lt.direction =
+                machine.neighbor(cs, +1) == cd ? +1 : -1;
+        }
+        out.push_back(lt);
+    }
+    return out;
+}
+
+} // namespace dms

@@ -1,0 +1,70 @@
+#ifndef DMS_REGALLOC_LIFETIME_H
+#define DMS_REGALLOC_LIFETIME_H
+
+/**
+ * @file
+ * Loop-variant lifetimes of a modulo schedule. After the single-use
+ * pre-pass every flow edge is one lifetime: the value enters a
+ * queue when the producer's result is ready and leaves when its
+ * single consumer reads it, distance iterations later. This module
+ * computes per-edge spans and queue depths; queue assignment is in
+ * queue_alloc.h (substrate from Fernandes/Llosa/Topham,
+ * EURO-PAR'97 [5]).
+ */
+
+#include <vector>
+
+#include "ir/ddg.h"
+#include "machine/machine.h"
+#include "sched/schedule.h"
+
+namespace dms {
+
+/** Where a lifetime's queue lives. */
+enum class QueueLocation : std::uint8_t {
+    Lrf,   ///< producer and consumer in the same cluster
+    Cqrf,  ///< adjacent clusters: the boundary queue file
+};
+
+/** One value lifetime (one flow edge of the scheduled DDG). */
+struct Lifetime
+{
+    EdgeId edge = kInvalidEdge;
+    OpId def = kInvalidOp;
+    OpId use = kInvalidOp;
+
+    /**
+     * Cycles the value sits in its queue:
+     * time(use) + II*distance - time(def) - latency(def). Always
+     * >= 0 in a legal schedule.
+     */
+    int span = 0;
+
+    /**
+     * Maximum simultaneously-live values of this lifetime:
+     * floor(span / II) + 1 (a new instance enters every II).
+     * This is the FIFO depth the queue must provide.
+     */
+    int depth = 0;
+
+    QueueLocation location = QueueLocation::Lrf;
+
+    /** LRF: owning cluster. CQRF: the *writer's* cluster. */
+    ClusterId cluster = kInvalidCluster;
+
+    /** CQRF only: ring direction from writer to reader (+1/-1). */
+    int direction = 0;
+};
+
+/**
+ * Compute the lifetime of every active flow edge between scheduled
+ * ops. On clustered machines every edge must be intra-cluster or
+ * one hop (the schedule verifier enforces this first).
+ */
+std::vector<Lifetime> computeLifetimes(const Ddg &ddg,
+                                       const MachineModel &machine,
+                                       const PartialSchedule &ps);
+
+} // namespace dms
+
+#endif // DMS_REGALLOC_LIFETIME_H

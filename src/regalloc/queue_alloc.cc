@@ -1,0 +1,64 @@
+#include "regalloc/queue_alloc.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+
+namespace dms {
+
+QueueAllocation
+allocateQueues(const Ddg &ddg, const MachineModel &machine,
+               const PartialSchedule &ps)
+{
+    QueueAllocation alloc;
+    alloc.lifetimes = computeLifetimes(ddg, machine, ps);
+    alloc.lrf.assign(static_cast<size_t>(machine.numClusters()), {});
+    alloc.cqrf.assign(
+        static_cast<size_t>(machine.numClusters()) * 2, {});
+
+    auto account = [](QueueFileStats &f, const Lifetime &lt) {
+        ++f.queues;
+        f.maxDepth = std::max(f.maxDepth, lt.depth);
+        f.totalDepth += lt.depth;
+    };
+
+    for (const Lifetime &lt : alloc.lifetimes) {
+        if (lt.location == QueueLocation::Lrf) {
+            account(alloc.lrf[static_cast<size_t>(lt.cluster)], lt);
+        } else {
+            size_t idx = static_cast<size_t>(lt.cluster) * 2 +
+                         (lt.direction > 0 ? 0 : 1);
+            account(alloc.cqrf[idx], lt);
+        }
+    }
+
+    for (const QueueFileStats &f : alloc.lrf) {
+        alloc.totalStorage += f.totalDepth;
+        alloc.maxQueuesPerFile =
+            std::max(alloc.maxQueuesPerFile, f.queues);
+    }
+    for (const QueueFileStats &f : alloc.cqrf) {
+        alloc.totalStorage += f.totalDepth;
+        alloc.maxQueuesPerFile =
+            std::max(alloc.maxQueuesPerFile, f.queues);
+    }
+    return alloc;
+}
+
+std::string
+QueueAllocation::summary() const
+{
+    std::string s = strfmt("%zu lifetimes, %d storage positions, "
+                           "max %d queues/file\n",
+                           lifetimes.size(), totalStorage,
+                           maxQueuesPerFile);
+    for (size_t c = 0; c < lrf.size(); ++c) {
+        s += strfmt("  cluster %zu: LRF %d queues (max depth %d), "
+                    "CQRF+ %d queues, CQRF- %d queues\n",
+                    c, lrf[c].queues, lrf[c].maxDepth,
+                    cqrf[c * 2].queues, cqrf[c * 2 + 1].queues);
+    }
+    return s;
+}
+
+} // namespace dms

@@ -1,0 +1,63 @@
+#ifndef DMS_REGALLOC_QUEUE_ALLOC_H
+#define DMS_REGALLOC_QUEUE_ALLOC_H
+
+/**
+ * @file
+ * Queue register allocation. Each lifetime is assigned its own FIFO
+ * queue in the producer-side LRF (intra-cluster) or the CQRF of the
+ * crossed boundary (adjacent clusters). Because one lifetime's
+ * instances enter and leave strictly in iteration order, a private
+ * queue is always FIFO-feasible; the allocator therefore reports
+ * the per-file queue counts and depths the hardware must provide
+ * (the EURO-PAR'97 paper [5] additionally shares queues between
+ * compatible lifetimes; we keep one queue per lifetime and report
+ * the requirement).
+ */
+
+#include <string>
+#include <vector>
+
+#include "regalloc/lifetime.h"
+
+namespace dms {
+
+/** Requirements of one queue file. */
+struct QueueFileStats
+{
+    int queues = 0;     ///< queues in use (one per lifetime)
+    int maxDepth = 0;   ///< deepest queue
+    int totalDepth = 0; ///< sum of depths (storage positions)
+};
+
+/** Full allocation result. */
+struct QueueAllocation
+{
+    std::vector<Lifetime> lifetimes;
+
+    /** LRF of each cluster. */
+    std::vector<QueueFileStats> lrf;
+
+    /**
+     * CQRF per (cluster, direction): index 2*c for the file written
+     * by cluster c toward neighbor(c, +1) and 2*c+1 toward
+     * neighbor(c, -1).
+     */
+    std::vector<QueueFileStats> cqrf;
+
+    /** Aggregate storage positions across all files. */
+    int totalStorage = 0;
+
+    /** Largest queue count needed in any single file. */
+    int maxQueuesPerFile = 0;
+
+    std::string summary() const;
+};
+
+/** Allocate queues for a complete legal schedule. */
+QueueAllocation allocateQueues(const Ddg &ddg,
+                               const MachineModel &machine,
+                               const PartialSchedule &ps);
+
+} // namespace dms
+
+#endif // DMS_REGALLOC_QUEUE_ALLOC_H

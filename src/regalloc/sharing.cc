@@ -1,0 +1,155 @@
+#include "regalloc/sharing.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "support/diag.h"
+
+namespace dms {
+
+namespace {
+
+/** Enter (value ready) absolute phase of a lifetime. */
+long
+enterPhase(const Lifetime &lt, const Ddg &ddg,
+           const PartialSchedule &ps)
+{
+    return ps.timeOf(lt.def) + ddg.edge(lt.edge).latency;
+}
+
+/** Exit (value consumed) absolute phase of a lifetime. */
+long
+exitPhase(const Lifetime &lt, const Ddg &ddg,
+          const PartialSchedule &ps)
+{
+    return ps.timeOf(lt.use) +
+           static_cast<long>(ps.ii()) * ddg.edge(lt.edge).distance;
+}
+
+/** Register-file identity for grouping. */
+std::tuple<int, int, int>
+fileKey(const Lifetime &lt)
+{
+    return {static_cast<int>(lt.location), lt.cluster,
+            lt.direction};
+}
+
+} // namespace
+
+bool
+canShareQueue(const Lifetime &a, const Lifetime &b, int ii,
+              const Ddg &ddg, const PartialSchedule &ps)
+{
+    if (fileKey(a) != fileKey(b))
+        return false;
+
+    long de = enterPhase(a, ddg, ps) - enterPhase(b, ddg, ps);
+    long dx = exitPhase(a, ddg, ps) - exitPhase(b, ddg, ps);
+
+    // Port conflicts: simultaneous enters or exits every period.
+    if (de % ii == 0 || dx % ii == 0)
+        return false;
+
+    // FIFO: no multiple of II may lie between the enter-offset and
+    // the exit-offset, or some instance pair overtakes.
+    auto interval = [&](long d) {
+        // floor division toward -inf.
+        long q = d / ii;
+        if (d % ii != 0 && ((d < 0) != (ii < 0)))
+            --q;
+        return q;
+    };
+    return interval(de) == interval(dx);
+}
+
+SharedAllocation
+shareQueues(const QueueAllocation &alloc, const Ddg &ddg,
+            const PartialSchedule &ps)
+{
+    SharedAllocation out;
+    out.queuesBefore = static_cast<int>(alloc.lifetimes.size());
+
+    // Group lifetimes per register file.
+    std::map<std::tuple<int, int, int>, std::vector<int>> files;
+    for (size_t i = 0; i < alloc.lifetimes.size(); ++i) {
+        files[fileKey(alloc.lifetimes[i])].push_back(
+            static_cast<int>(i));
+    }
+
+    const int ii = ps.ii();
+    for (auto &[key, members] : files) {
+        (void)key;
+        // Longest spans first: they are the hardest to pack.
+        std::sort(members.begin(), members.end(), [&](int x, int y) {
+            int sx = alloc.lifetimes[static_cast<size_t>(x)].span;
+            int sy = alloc.lifetimes[static_cast<size_t>(y)].span;
+            return sx != sy ? sx > sy : x < y;
+        });
+
+        std::vector<SharedQueue> queues;
+        for (int m : members) {
+            const Lifetime &lt =
+                alloc.lifetimes[static_cast<size_t>(m)];
+            bool placed = false;
+            for (SharedQueue &q : queues) {
+                bool ok = true;
+                for (int other : q.members) {
+                    if (!canShareQueue(
+                            lt,
+                            alloc.lifetimes[static_cast<size_t>(
+                                other)],
+                            ii, ddg, ps)) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if (ok) {
+                    q.members.push_back(m);
+                    placed = true;
+                    break;
+                }
+            }
+            if (!placed)
+                queues.push_back(SharedQueue{{m}, 0});
+        }
+
+        // Depth of a shared queue: peak simultaneous values,
+        // measured exactly over one steady-state period.
+        for (SharedQueue &q : queues) {
+            for (int phase = 0; phase < ii; ++phase) {
+                int live = 0;
+                for (int m : q.members) {
+                    const Lifetime &lt =
+                        alloc.lifetimes[static_cast<size_t>(m)];
+                    long p = enterPhase(lt, ddg, ps);
+                    long x = exitPhase(lt, ddg, ps);
+                    // Instances live at absolute time T (large,
+                    // steady state) with T ≡ phase (mod II):
+                    // count i with p + i*II <= T <= x + i*II —
+                    // the pop cycle counts as occupied, so even
+                    // same-cycle transits need one slot. Evaluate
+                    // at T = phase + K*II for a K beyond every
+                    // ramp.
+                    long T = phase + 64L * ii +
+                             (std::max(p, x) / ii + 1) * ii;
+                    auto fdiv = [](long a, long b) {
+                        long qd = a / b;
+                        if (a % b != 0 && ((a < 0) != (b < 0)))
+                            --qd;
+                        return qd;
+                    };
+                    live += static_cast<int>(fdiv(T - p, ii) -
+                                             fdiv(T - x - 1, ii));
+                }
+                q.depth = std::max(q.depth, live);
+            }
+            out.queues.push_back(std::move(q));
+        }
+    }
+
+    out.queuesAfter = static_cast<int>(out.queues.size());
+    return out;
+}
+
+} // namespace dms

@@ -1,0 +1,76 @@
+#ifndef DMS_REGALLOC_SHARING_H
+#define DMS_REGALLOC_SHARING_H
+
+/**
+ * @file
+ * Queue sharing (the optimization of the authors' EURO-PAR'97
+ * paper [5]): several lifetimes can live in one FIFO queue when
+ * their values enter and leave in a consistent order, cutting the
+ * number of queues each register file must provide.
+ *
+ * Two lifetimes A and B of the same file are compatible iff the
+ * merged enter/exit streams never overtake: with enter phases
+ * p_A + i*II / p_B + j*II and exit phases q_A + i*II / q_B + j*II,
+ * FIFO order holds for all instances iff no integer multiple of II
+ * separates (p_A - p_B) from (q_A - q_B) — i.e. both differences
+ * fall strictly inside the same length-II interval. Simultaneous
+ * enters or exits are rejected (a queue has one write and one read
+ * port). Compatibility is pairwise-sufficient: consistent pairwise
+ * order implies a consistent total order of the merged streams.
+ */
+
+#include "regalloc/queue_alloc.h"
+
+namespace dms {
+
+/** One shared physical queue. */
+struct SharedQueue
+{
+    /** Indices into QueueAllocation::lifetimes. */
+    std::vector<int> members;
+
+    /** Peak simultaneous values across all members. */
+    int depth = 0;
+};
+
+/** Result of sharing one allocation. */
+struct SharedAllocation
+{
+    std::vector<SharedQueue> queues;
+
+    /** Queues before sharing (one per lifetime). */
+    int queuesBefore = 0;
+
+    /** Queues after sharing. */
+    int queuesAfter = 0;
+
+    double
+    reduction() const
+    {
+        return queuesBefore == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(queuesAfter) /
+                               queuesBefore;
+    }
+};
+
+/**
+ * True if lifetimes @p a and @p b (same register file) can share a
+ * FIFO queue at initiation interval @p ii.
+ */
+bool canShareQueue(const Lifetime &a, const Lifetime &b, int ii,
+                   const Ddg &ddg, const PartialSchedule &ps);
+
+/**
+ * Greedy first-fit sharing over a complete allocation. Lifetimes
+ * are grouped per register file (LRF per cluster, CQRF per
+ * boundary and direction) and packed into the fewest queues the
+ * greedy order finds.
+ */
+SharedAllocation shareQueues(const QueueAllocation &alloc,
+                             const Ddg &ddg,
+                             const PartialSchedule &ps);
+
+} // namespace dms
+
+#endif // DMS_REGALLOC_SHARING_H

@@ -1,0 +1,126 @@
+#include "sched/ims.h"
+
+#include <algorithm>
+
+#include "sched/mii.h"
+#include "sched/priority.h"
+#include "support/diag.h"
+
+namespace dms {
+
+int
+defaultMaxII(int mii)
+{
+    return 6 * mii + 64;
+}
+
+namespace {
+
+/**
+ * Highest-height unscheduled live op, ties broken by lower id.
+ * Linear scan: bodies are at most a few hundred ops and the scan is
+ * cheaper than maintaining a heap under eviction churn.
+ */
+OpId
+pickNext(const Ddg &ddg, const PartialSchedule &ps, const Heights &h)
+{
+    OpId best = kInvalidOp;
+    for (OpId id = 0; id < ddg.numOps(); ++id) {
+        if (!ddg.opLive(id) || ps.isScheduled(id))
+            continue;
+        if (best == kInvalidOp ||
+            h[static_cast<size_t>(id)] > h[static_cast<size_t>(best)]) {
+            best = id;
+        }
+    }
+    return best;
+}
+
+bool
+imsPass(const Ddg &ddg, const MachineModel &machine, int ii,
+        long budget, const std::vector<ClusterId> *assignment,
+        PartialSchedule &ps, long &used)
+{
+    Heights heights = computeHeights(ddg, ii);
+    (void)machine;
+
+    while (ps.scheduledCount() < ddg.liveOpCount()) {
+        if (budget-- <= 0)
+            return false;
+        ++used;
+
+        OpId op = pickNext(ddg, ps, heights);
+        DMS_ASSERT(op != kInvalidOp, "no unscheduled op found");
+
+        ClusterId cluster = 0;
+        if (assignment) {
+            cluster = (*assignment)[static_cast<size_t>(op)];
+            DMS_ASSERT(cluster != kInvalidCluster,
+                       "op %s has no cluster assignment",
+                       ddg.opLabel(op).c_str());
+        }
+
+        Cycle early = ps.earlyStart(op);
+        Cycle slot = ps.findFreeSlot(op, cluster, early);
+        if (slot == kUnscheduled)
+            slot = ps.forcedSlot(op, early);
+
+        std::vector<OpId> evicted;
+        ps.placeEvicting(op, slot, cluster, heights, evicted);
+        for (OpId v : ps.violatedSuccessors(op))
+            ps.unschedule(v);
+    }
+    return true;
+}
+
+SchedOutcome
+runIms(const Ddg &ddg, const MachineModel &machine,
+       const std::vector<ClusterId> *assignment,
+       const SchedParams &params)
+{
+    SchedOutcome out;
+    out.resMii = resMii(ddg, machine);
+    out.recMii = recMii(ddg);
+    out.mii = std::max(out.resMii, out.recMii);
+    int max_ii = params.maxII > 0 ? params.maxII
+                                  : defaultMaxII(out.mii);
+
+    long budget =
+        static_cast<long>(params.budgetRatio) * ddg.liveOpCount();
+    budget = std::max<long>(budget, 1);
+
+    for (int ii = out.mii; ii <= max_ii; ++ii) {
+        ++out.attempts;
+        auto ps =
+            std::make_unique<PartialSchedule>(ddg, machine, ii);
+        if (imsPass(ddg, machine, ii, budget, assignment, *ps,
+                    out.budgetUsed)) {
+            out.ok = true;
+            out.ii = ii;
+            out.schedule = std::move(ps);
+            return out;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+SchedOutcome
+scheduleIms(const Ddg &ddg, const MachineModel &machine,
+            const SchedParams &params)
+{
+    return runIms(ddg, machine, nullptr, params);
+}
+
+SchedOutcome
+scheduleImsFixed(const Ddg &ddg, const MachineModel &machine,
+                 const std::vector<ClusterId> &assignment,
+                 const SchedParams &params)
+{
+    DMS_ASSERT(static_cast<int>(assignment.size()) >= ddg.numOps(),
+               "assignment smaller than DDG");
+    return runIms(ddg, machine, &assignment, params);
+}
+
+} // namespace dms

@@ -1,0 +1,88 @@
+#ifndef DMS_SCHED_IMS_H
+#define DMS_SCHED_IMS_H
+
+/**
+ * @file
+ * Iterative Modulo Scheduling (Rau [14]), the base algorithm DMS
+ * extends and the scheduler used for the unclustered reference
+ * machine in every figure of the paper.
+ *
+ * IMS schedules operations highest-height-first. For each operation
+ * it computes the earliest start compatible with its scheduled
+ * predecessors, searches the II-wide window for a resource-free
+ * slot, and otherwise *forces* placement, evicting the conflicting
+ * occupant and any successors whose dependence constraints broke.
+ * A budget proportional to the number of operations bounds the
+ * backtracking; on exhaustion the II is increased and the pass
+ * restarts.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "ir/ddg.h"
+#include "machine/machine.h"
+#include "sched/schedule.h"
+
+namespace dms {
+
+/** Knobs shared by IMS and DMS. */
+struct SchedParams
+{
+    /** Backtracking budget = budgetRatio * live ops (Rau's ratio). */
+    int budgetRatio = 6;
+
+    /** Hard II cap; 0 means automatic (6 * MII + 64). */
+    int maxII = 0;
+};
+
+/** Result of a scheduling run. */
+struct SchedOutcome
+{
+    bool ok = false;
+    int ii = 0;
+    int mii = 0;
+    int resMii = 0;
+    int recMii = 0;
+
+    /** Number of II values attempted. */
+    int attempts = 0;
+
+    /** Scheduling steps consumed across all attempts. */
+    long budgetUsed = 0;
+
+    /** Moves inserted by DMS chains (0 for IMS). */
+    int movesInserted = 0;
+
+    /**
+     * The schedule (valid iff ok). References the DDG and machine
+     * passed to the scheduler; keep both alive while using it.
+     */
+    std::unique_ptr<PartialSchedule> schedule;
+};
+
+/**
+ * Schedule @p ddg on @p machine with IMS. All operations go to
+ * cluster 0; use the unclustered machine model (this is the paper's
+ * reference configuration).
+ */
+SchedOutcome scheduleIms(const Ddg &ddg, const MachineModel &machine,
+                         const SchedParams &params = {});
+
+/**
+ * IMS with a fixed operation-to-cluster assignment (the second
+ * phase of partition-then-schedule baselines). @p assignment maps
+ * every live op to its cluster; communication legality is the
+ * partitioner's responsibility and is not re-checked here.
+ */
+SchedOutcome scheduleImsFixed(const Ddg &ddg,
+                              const MachineModel &machine,
+                              const std::vector<ClusterId> &assignment,
+                              const SchedParams &params = {});
+
+/** Automatic II cap used when SchedParams::maxII is 0. */
+int defaultMaxII(int mii);
+
+} // namespace dms
+
+#endif // DMS_SCHED_IMS_H

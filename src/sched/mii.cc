@@ -1,0 +1,125 @@
+#include "sched/mii.h"
+
+#include <algorithm>
+
+#include "ir/scc.h"
+#include "support/diag.h"
+
+namespace dms {
+
+int
+resMii(const Ddg &ddg, const MachineModel &machine)
+{
+    std::vector<int> counts = ddg.opCountByClass();
+    int mii = 1;
+    for (int cls = 0; cls < kNumFuClasses; ++cls) {
+        if (counts[static_cast<size_t>(cls)] == 0)
+            continue;
+        int fus = machine.totalFus(static_cast<FuClass>(cls));
+        if (fus == 0) {
+            panic("DDG needs %s units but machine '%s' has none",
+                  fuClassName(static_cast<FuClass>(cls)),
+                  machine.describe().c_str());
+        }
+        int need = (counts[static_cast<size_t>(cls)] + fus - 1) / fus;
+        mii = std::max(mii, need);
+    }
+    return mii;
+}
+
+namespace {
+
+/**
+ * True if, at the given II, the SCC contains a cycle of positive
+ * weight under w(e) = latency - II * distance (i.e. II is too
+ * small). Bellman-Ford longest-path relaxation limited to the SCC.
+ */
+bool
+hasPositiveCycle(const Ddg &ddg, const Scc &scc, int ii)
+{
+    // Map op -> dense index within the SCC.
+    std::vector<int> dense(static_cast<size_t>(ddg.numOps()), -1);
+    for (size_t i = 0; i < scc.size(); ++i)
+        dense[static_cast<size_t>(scc[i])] = static_cast<int>(i);
+
+    std::vector<std::int64_t> dist(scc.size(), 0);
+    for (size_t pass = 0; pass <= scc.size(); ++pass) {
+        bool changed = false;
+        for (OpId u : scc) {
+            for (EdgeId e : ddg.op(u).outs) {
+                if (!ddg.edgeActive(e))
+                    continue;
+                const Edge &ed = ddg.edge(e);
+                int vi = dense[static_cast<size_t>(ed.dst)];
+                if (vi < 0)
+                    continue;
+                int ui = dense[static_cast<size_t>(u)];
+                std::int64_t w = ed.latency -
+                    static_cast<std::int64_t>(ii) * ed.distance;
+                if (dist[static_cast<size_t>(ui)] + w >
+                    dist[static_cast<size_t>(vi)]) {
+                    dist[static_cast<size_t>(vi)] =
+                        dist[static_cast<size_t>(ui)] + w;
+                    changed = true;
+                }
+            }
+        }
+        if (!changed)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+recMii(const Ddg &ddg)
+{
+    int best = 1;
+    for (const Scc &scc : stronglyConnectedComponents(ddg)) {
+        // Trivial SCCs constrain only via self-loops.
+        bool cyclic = scc.size() > 1;
+        std::int64_t lat_sum = 0;
+        if (!cyclic) {
+            for (EdgeId e : ddg.op(scc[0]).outs) {
+                if (ddg.edgeActive(e) &&
+                    ddg.edge(e).dst == scc[0]) {
+                    cyclic = true;
+                }
+            }
+        }
+        if (!cyclic)
+            continue;
+
+        for (OpId u : scc) {
+            for (EdgeId e : ddg.op(u).outs) {
+                if (ddg.edgeActive(e))
+                    lat_sum += ddg.edge(e).latency;
+            }
+        }
+
+        // Binary search the smallest feasible II for this SCC.
+        int lo = best;
+        int hi = std::max<int>(lo,
+            static_cast<int>(std::min<std::int64_t>(lat_sum, 1 << 20)));
+        while (hasPositiveCycle(ddg, scc, hi))
+            hi *= 2;
+        while (lo < hi) {
+            int mid = lo + (hi - lo) / 2;
+            if (hasPositiveCycle(ddg, scc, mid))
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        best = std::max(best, lo);
+    }
+    return best;
+}
+
+int
+minII(const Ddg &ddg, const MachineModel &machine)
+{
+    return std::max(resMii(ddg, machine), recMii(ddg));
+}
+
+} // namespace dms

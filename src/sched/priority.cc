@@ -1,0 +1,49 @@
+#include "sched/priority.h"
+
+#include "support/diag.h"
+
+namespace dms {
+
+Heights
+computeHeights(const Ddg &ddg, int ii)
+{
+    Heights h(static_cast<size_t>(ddg.numOps()), 0);
+
+    // Longest-path to any sink: h(v) = max(0, max over v->s of
+    // h(s) + lat - II*dist). Queue-based relaxation; bounded by
+    // V * E updates at a legal II (non-positive cycles only).
+    std::int64_t budget =
+        static_cast<std::int64_t>(ddg.numOps() + 1) *
+        static_cast<std::int64_t>(ddg.numEdges() + 1) + 16;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (OpId v = ddg.numOps() - 1; v >= 0; --v) {
+            if (!ddg.opLive(v))
+                continue;
+            std::int64_t best = 0;
+            for (EdgeId e : ddg.op(v).outs) {
+                if (!ddg.edgeActive(e))
+                    continue;
+                const Edge &ed = ddg.edge(e);
+                std::int64_t cand =
+                    h[static_cast<size_t>(ed.dst)] + ed.latency -
+                    static_cast<std::int64_t>(ii) * ed.distance;
+                if (cand > best)
+                    best = cand;
+            }
+            if (best > h[static_cast<size_t>(v)]) {
+                h[static_cast<size_t>(v)] = best;
+                changed = true;
+            }
+            if (--budget < 0) {
+                panic("height relaxation diverged: II %d below "
+                      "RecMII?", ii);
+            }
+        }
+    }
+    return h;
+}
+
+} // namespace dms

@@ -1,0 +1,33 @@
+#ifndef DMS_SCHED_PRIORITY_H
+#define DMS_SCHED_PRIORITY_H
+
+/**
+ * @file
+ * Height-based scheduling priority (Rau's HeightR). The height of an
+ * operation is the length of the longest latency-weighted path it
+ * starts, under the modulo-scheduling edge weight
+ * w(e) = latency - II * distance. Operations with larger height are
+ * more critical and are scheduled first.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ddg.h"
+
+namespace dms {
+
+/** Per-op heights, indexed by OpId. Dead ops get 0. */
+using Heights = std::vector<std::int64_t>;
+
+/**
+ * Compute heights for the given II by longest-path relaxation. At
+ * II >= RecMII every cycle has non-positive weight, so a fixpoint
+ * exists; the function panics if relaxation fails to converge
+ * (i.e. it was called with II < RecMII).
+ */
+Heights computeHeights(const Ddg &ddg, int ii);
+
+} // namespace dms
+
+#endif // DMS_SCHED_PRIORITY_H

@@ -1,0 +1,212 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+
+namespace dms {
+
+PartialSchedule::PartialSchedule(const Ddg &ddg,
+                                 const MachineModel &machine, int ii)
+    : ddg_(&ddg), machine_(machine), ii_(ii), rt_(machine, ii)
+{
+    ensureSize(ddg.numOps() - 1);
+}
+
+void
+PartialSchedule::ensureSize(OpId op) const
+{
+    size_t need = static_cast<size_t>(op) + 1;
+    if (placements_.size() < need) {
+        placements_.resize(need);
+        last_time_.resize(need, kUnscheduled);
+        times_placed_.resize(need, 0);
+    }
+}
+
+bool
+PartialSchedule::isScheduled(OpId op) const
+{
+    ensureSize(op);
+    return placements_[static_cast<size_t>(op)].scheduled();
+}
+
+Cycle
+PartialSchedule::timeOf(OpId op) const
+{
+    ensureSize(op);
+    const Placement &p = placements_[static_cast<size_t>(op)];
+    DMS_ASSERT(p.scheduled(), "timeOf unscheduled %s",
+               ddg_->opLabel(op).c_str());
+    return p.time;
+}
+
+ClusterId
+PartialSchedule::clusterOf(OpId op) const
+{
+    ensureSize(op);
+    const Placement &p = placements_[static_cast<size_t>(op)];
+    DMS_ASSERT(p.scheduled(), "clusterOf unscheduled %s",
+               ddg_->opLabel(op).c_str());
+    return p.cluster;
+}
+
+const Placement &
+PartialSchedule::placement(OpId op) const
+{
+    ensureSize(op);
+    return placements_[static_cast<size_t>(op)];
+}
+
+Cycle
+PartialSchedule::earlyStart(OpId op) const
+{
+    Cycle early = 0;
+    for (EdgeId e : ddg_->op(op).ins) {
+        if (!ddg_->edgeActive(e))
+            continue;
+        const Edge &ed = ddg_->edge(e);
+        if (!isScheduled(ed.src))
+            continue;
+        Cycle bound = timeOf(ed.src) + ed.latency -
+                      ii_ * ed.distance;
+        early = std::max(early, bound);
+    }
+    return early;
+}
+
+Cycle
+PartialSchedule::findFreeSlot(OpId op, ClusterId cluster,
+                              Cycle early) const
+{
+    FuClass cls = fuClassOf(ddg_->op(op).opc);
+    for (Cycle t = early; t < early + ii_; ++t) {
+        if (rt_.hasFree(cluster, cls, t % ii_))
+            return t;
+    }
+    return kUnscheduled;
+}
+
+Cycle
+PartialSchedule::forcedSlot(OpId op, Cycle early) const
+{
+    ensureSize(op);
+    Cycle prev = last_time_[static_cast<size_t>(op)];
+    if (prev == kUnscheduled || prev + 1 < early)
+        return early;
+    return prev + 1;
+}
+
+bool
+PartialSchedule::tryPlace(OpId op, Cycle cycle, ClusterId cluster)
+{
+    ensureSize(op);
+    DMS_ASSERT(!isScheduled(op), "placing scheduled %s",
+               ddg_->opLabel(op).c_str());
+    DMS_ASSERT(cycle >= 0, "negative cycle %d for %s", cycle,
+               ddg_->opLabel(op).c_str());
+    FuClass cls = fuClassOf(ddg_->op(op).opc);
+    int inst = rt_.freeInstance(cluster, cls, cycle % ii_);
+    if (inst < 0)
+        return false;
+    rt_.place(op, cluster, cls, inst, cycle % ii_);
+    Placement &p = placements_[static_cast<size_t>(op)];
+    p.time = cycle;
+    p.cluster = cluster;
+    p.fuInstance = inst;
+    last_time_[static_cast<size_t>(op)] = cycle;
+    ++times_placed_[static_cast<size_t>(op)];
+    ++scheduled_count_;
+    return true;
+}
+
+void
+PartialSchedule::placeEvicting(OpId op, Cycle cycle, ClusterId cluster,
+                               const Heights &heights,
+                               std::vector<OpId> &evicted)
+{
+    if (tryPlace(op, cycle, cluster))
+        return;
+
+    // Every instance busy: evict the lowest-height occupant.
+    FuClass cls = fuClassOf(ddg_->op(op).opc);
+    int row = cycle % ii_;
+    int per = machine_.fusPerCluster(cls);
+    DMS_ASSERT(per > 0, "no %s units in cluster %d",
+               fuClassName(cls), cluster);
+    int victim_inst = 0;
+    OpId victim = rt_.at(cluster, cls, 0, row);
+    for (int i = 1; i < per; ++i) {
+        OpId occ = rt_.at(cluster, cls, i, row);
+        auto h = [&](OpId o) {
+            return o < static_cast<OpId>(heights.size())
+                       ? heights[static_cast<size_t>(o)]
+                       : 0;
+        };
+        if (h(occ) < h(victim)) {
+            victim = occ;
+            victim_inst = i;
+        }
+    }
+    DMS_ASSERT(victim != kInvalidOp, "full row with no occupant");
+    (void)victim_inst;
+    unschedule(victim);
+    evicted.push_back(victim);
+    bool ok = tryPlace(op, cycle, cluster);
+    DMS_ASSERT(ok, "place failed after eviction");
+}
+
+void
+PartialSchedule::unschedule(OpId op)
+{
+    ensureSize(op);
+    Placement &p = placements_[static_cast<size_t>(op)];
+    DMS_ASSERT(p.scheduled(), "unscheduling unscheduled %s",
+               ddg_->opLabel(op).c_str());
+    FuClass cls = fuClassOf(ddg_->op(op).opc);
+    rt_.clear(op, p.cluster, cls, p.fuInstance, p.time % ii_);
+    p = Placement{};
+    --scheduled_count_;
+}
+
+std::vector<OpId>
+PartialSchedule::violatedSuccessors(OpId op) const
+{
+    std::vector<OpId> out;
+    DMS_ASSERT(isScheduled(op), "violatedSuccessors of unscheduled op");
+    Cycle t = timeOf(op);
+    for (EdgeId e : ddg_->op(op).outs) {
+        if (!ddg_->edgeActive(e))
+            continue;
+        const Edge &ed = ddg_->edge(e);
+        if (ed.dst == op)
+            continue; // self-loop: t >= t + lat - II*d checked below
+        if (!isScheduled(ed.dst))
+            continue;
+        if (timeOf(ed.dst) < t + ed.latency - ii_ * ed.distance) {
+            if (std::find(out.begin(), out.end(), ed.dst) == out.end())
+                out.push_back(ed.dst);
+        }
+    }
+    return out;
+}
+
+int
+PartialSchedule::placementCount(OpId op) const
+{
+    ensureSize(op);
+    return times_placed_[static_cast<size_t>(op)];
+}
+
+Cycle
+PartialSchedule::maxTime() const
+{
+    Cycle m = -1;
+    for (OpId id = 0; id < ddg_->numOps(); ++id) {
+        if (ddg_->opLive(id) && isScheduled(id))
+            m = std::max(m, timeOf(id));
+    }
+    return m;
+}
+
+} // namespace dms

@@ -1,0 +1,124 @@
+#ifndef DMS_SCHED_SCHEDULE_H
+#define DMS_SCHED_SCHEDULE_H
+
+/**
+ * @file
+ * Partial modulo schedule: per-operation placements plus the modulo
+ * reservation table, with the eviction machinery both IMS and DMS
+ * backtracking rely on.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "ir/ddg.h"
+#include "machine/machine.h"
+#include "machine/reservation.h"
+#include "sched/priority.h"
+#include "support/types.h"
+
+namespace dms {
+
+/** Where and when one operation is placed. */
+struct Placement
+{
+    Cycle time = kUnscheduled;
+    ClusterId cluster = kInvalidCluster;
+    int fuInstance = -1;
+
+    bool scheduled() const { return time != kUnscheduled; }
+};
+
+/**
+ * A (possibly partial) modulo schedule at a fixed II. Grows with the
+ * DDG: operations appended to the graph (moves) get placements on
+ * demand.
+ */
+class PartialSchedule
+{
+  public:
+    PartialSchedule(const Ddg &ddg, const MachineModel &machine,
+                    int ii);
+
+    int ii() const { return ii_; }
+    const MachineModel &machine() const { return machine_; }
+    const Ddg &ddg() const { return *ddg_; }
+
+    bool isScheduled(OpId op) const;
+    Cycle timeOf(OpId op) const;
+    ClusterId clusterOf(OpId op) const;
+    const Placement &placement(OpId op) const;
+
+    /**
+     * Earliest start of @p op given its scheduled predecessors:
+     * max(0, max over active in-edges from scheduled sources of
+     * time(src) + latency - II * distance).
+     */
+    Cycle earlyStart(OpId op) const;
+
+    /**
+     * Rau's time-slot search: the first cycle in
+     * [early, early + II - 1] with a free FU instance in
+     * @p cluster, or kUnscheduled if every row is occupied.
+     */
+    Cycle findFreeSlot(OpId op, ClusterId cluster, Cycle early) const;
+
+    /**
+     * Forced slot when no free one exists: max(early, 1 + the time
+     * of the previous placement of @p op), which guarantees
+     * progress across repeated evictions (Rau).
+     */
+    Cycle forcedSlot(OpId op, Cycle early) const;
+
+    /**
+     * Place @p op at (cycle, cluster) using a free FU instance.
+     * @return false (and no change) if the row is full.
+     */
+    bool tryPlace(OpId op, Cycle cycle, ClusterId cluster);
+
+    /**
+     * Place @p op at (cycle, cluster), evicting the lowest-height
+     * occupant if every instance is busy. Evicted ops are appended
+     * to @p evicted and already unscheduled on return.
+     */
+    void placeEvicting(OpId op, Cycle cycle, ClusterId cluster,
+                       const Heights &heights,
+                       std::vector<OpId> &evicted);
+
+    /** Remove @p op from the schedule. */
+    void unschedule(OpId op);
+
+    /**
+     * Scheduled successors of @p op whose dependence constraint
+     * time(dst) >= time(op) + lat - II*dist is now violated.
+     */
+    std::vector<OpId> violatedSuccessors(OpId op) const;
+
+    /** Number of live ops currently scheduled. */
+    int scheduledCount() const { return scheduled_count_; }
+
+    /** Times this op has ever been placed (for forced slots). */
+    int placementCount(OpId op) const;
+
+    /** Largest scheduled time, or -1 for an empty schedule. */
+    Cycle maxTime() const;
+
+    const ReservationTable &reservations() const { return rt_; }
+
+  private:
+    void ensureSize(OpId op) const;
+
+    const Ddg *ddg_;
+    const MachineModel &machine_;
+    int ii_;
+    ReservationTable rt_;
+    mutable std::vector<Placement> placements_;
+    /** Last time each op was placed at (kUnscheduled if never). */
+    mutable std::vector<Cycle> last_time_;
+    mutable std::vector<int> times_placed_;
+    int scheduled_count_ = 0;
+};
+
+} // namespace dms
+
+#endif // DMS_SCHED_SCHEDULE_H

@@ -1,0 +1,62 @@
+#ifndef DMS_SCHED_VERIFIER_H
+#define DMS_SCHED_VERIFIER_H
+
+/**
+ * @file
+ * Full legality verification of a modulo schedule. Every scheduler
+ * result in tests and the evaluation harness goes through this; a
+ * schedule that passes is dependence-correct, resource-correct and
+ * (for clustered machines) communication-correct.
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/ddg.h"
+#include "machine/machine.h"
+#include "sched/schedule.h"
+
+namespace dms {
+
+/** Verifier switches. */
+struct VerifyOptions
+{
+    /** Require every live op to be scheduled. */
+    bool requireComplete = true;
+
+    /**
+     * Check cluster-communication legality (active flow edges
+     * between directly-connected clusters only, strict one-hop
+     * moves, live chain paths behind replaced edges). Enabled
+     * automatically for queue-file machines.
+     */
+    bool checkCommunication = true;
+};
+
+/**
+ * Verify the schedule; returns human-readable problems (empty =
+ * legal). Checks:
+ *  - completeness and non-negative times;
+ *  - reservation-table consistency with placements (one op per
+ *    cluster/class/instance/row slot);
+ *  - every active dependence edge:
+ *    time(dst) >= time(src) + latency - II * distance;
+ *  - on clustered machines: every active flow edge connects
+ *    directly-connected clusters; moves have exactly one flow
+ *    producer and one flow consumer, each exactly one ring hop
+ *    away; every replaced edge is backed by a live move path from
+ *    its producer to its consumer.
+ */
+std::vector<std::string> verifySchedule(const Ddg &ddg,
+                                        const MachineModel &machine,
+                                        const PartialSchedule &ps,
+                                        const VerifyOptions &opts = {});
+
+/** Panic with the first problem if the schedule is not legal. */
+void checkSchedule(const Ddg &ddg, const MachineModel &machine,
+                   const PartialSchedule &ps,
+                   const VerifyOptions &opts = {});
+
+} // namespace dms
+
+#endif // DMS_SCHED_VERIFIER_H

@@ -1,0 +1,195 @@
+#include "sim/exec.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "codegen/kernel.h"
+#include "sim/value.h"
+#include "support/diag.h"
+
+namespace dms {
+
+namespace {
+
+/** One value travelling down a queue. */
+struct Token
+{
+    long iter = 0; ///< consumer-side iteration it belongs to
+    std::uint64_t value = 0;
+};
+
+/** A result due to appear in queues at a future cycle. */
+struct Delivery
+{
+    long cycle = 0;
+    EdgeId edge = kInvalidEdge;
+    Token token;
+};
+
+} // namespace
+
+SimResult
+simulateSchedule(const Ddg &ddg, const MachineModel &machine,
+                 const PartialSchedule &ps, long body_iters)
+{
+    (void)machine;
+    SimResult res;
+    DMS_ASSERT(body_iters >= 1, "need at least one iteration");
+    const int ii = ps.ii();
+    const int f = ddg.unrollFactor();
+
+    auto complain = [&](std::string s) {
+        if (res.problems.size() < 16)
+            res.problems.push_back(std::move(s));
+    };
+
+    // Queues: one per active flow edge. Pre-load live-in tokens for
+    // loop-carried lifetimes (distance d: consumer iterations
+    // 0..d-1 read producer instances from before the loop).
+    std::vector<std::deque<Token>> queues(
+        static_cast<size_t>(ddg.numEdges()));
+    for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
+        if (!ddg.edgeActive(e) ||
+            ddg.edge(e).kind != DepKind::Flow) {
+            continue;
+        }
+        const Edge &ed = ddg.edge(e);
+        const Operation &src = ddg.op(ed.src);
+        for (int k = 0; k < ed.distance; ++k) {
+            long src_iter = k - ed.distance; // negative
+            queues[static_cast<size_t>(e)].push_back(
+                {k, liveInValue(src.origId,
+                                src_iter * f + src.iterOffset)});
+        }
+    }
+
+    // Issue table: ops per kernel row.
+    PipelinedLoop loop = buildPipelinedLoop(ddg, ps);
+    const long total_cycles = loop.cyclesFor(body_iters);
+    res.cycles = total_cycles;
+
+    // Deliveries bucketed by cycle.
+    std::vector<std::vector<Delivery>> pending(
+        static_cast<size_t>(total_cycles + 64));
+
+    long occupancy = 0;
+    for (const auto &q : queues)
+        occupancy += static_cast<long>(q.size());
+    res.maxQueueOccupancy = static_cast<int>(occupancy);
+
+    for (long t = 0; t < total_cycles; ++t) {
+        // 1. Deliver results that become available this cycle
+        //    (consumable the same cycle: latency exactly met).
+        for (const Delivery &d :
+             pending[static_cast<size_t>(t)]) {
+            queues[static_cast<size_t>(d.edge)].push_back(d.token);
+            ++occupancy;
+        }
+        res.maxQueueOccupancy = std::max(
+            res.maxQueueOccupancy, static_cast<int>(occupancy));
+        pending[static_cast<size_t>(t)].clear();
+
+        // 2. Issue the ops of kernel row (t mod II) whose iteration
+        //    index is in range.
+        for (const KernelSlot &slot :
+             loop.rows[static_cast<size_t>(t % ii)]) {
+            const Operation &op = ddg.op(slot.op);
+            Cycle t0 = ps.timeOf(slot.op);
+            if (t < t0 || (t - t0) % ii != 0)
+                continue;
+            long iter = (t - t0) / ii;
+            if (iter >= body_iters)
+                continue;
+            long orig_iter = iter * f + op.iterOffset;
+
+            std::uint64_t in[2] = {invariantOperand(op.origId, 0),
+                                   invariantOperand(op.origId, 1)};
+            for (EdgeId e : ddg.flowInputs(slot.op)) {
+                const Edge &ed = ddg.edge(e);
+                if (ed.replaced)
+                    continue;
+                auto &q = queues[static_cast<size_t>(e)];
+                if (q.empty()) {
+                    complain(strfmt(
+                        "cycle %ld: %s iter %ld: queue of edge "
+                        "%d empty (value not yet available)",
+                        t, ddg.opLabel(slot.op).c_str(), iter, e));
+                    continue;
+                }
+                Token tok = q.front();
+                q.pop_front();
+                --occupancy;
+                if (tok.iter != iter) {
+                    complain(strfmt(
+                        "cycle %ld: %s popped token for iter %ld "
+                        "while executing iter %ld (FIFO order "
+                        "broken)",
+                        t, ddg.opLabel(slot.op).c_str(), tok.iter,
+                        iter));
+                }
+                in[ed.operandIndex] = tok.value;
+            }
+
+            std::uint64_t result =
+                evalOp(op, in[0], in[1], orig_iter);
+
+            if (op.opc == Opcode::Store) {
+                res.log.records.push_back(
+                    {op.origId, orig_iter, result});
+                continue;
+            }
+
+            // Push into every consumer queue when available.
+            long avail = t + ps.machine().latencyOf(op.opc);
+            for (EdgeId e : ddg.op(slot.op).outs) {
+                const Edge &ed = ddg.edge(e);
+                if (!ddg.edgeActive(e) ||
+                    ed.kind != DepKind::Flow) {
+                    continue;
+                }
+                long cons_iter = iter + ed.distance;
+                if (cons_iter >= body_iters)
+                    continue; // consumer instance never runs
+                if (avail <
+                    static_cast<long>(pending.size())) {
+                    pending[static_cast<size_t>(avail)].push_back(
+                        {avail, e, {cons_iter, result}});
+                }
+            }
+        }
+    }
+
+    // Leftover tokens: values produced for consumer instances that
+    // did run but were never popped would be a bug; tokens for
+    // instances beyond body_iters were filtered above.
+    for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
+        if (!ddg.edgeActive(e) ||
+            ddg.edge(e).kind != DepKind::Flow) {
+            continue;
+        }
+        for (const Token &tok : queues[static_cast<size_t>(e)]) {
+            if (tok.iter < body_iters) {
+                complain(strfmt("edge %d: unread token for iter %ld",
+                                e, tok.iter));
+            }
+        }
+    }
+
+    res.log.sort();
+    res.ok = res.problems.empty();
+    return res;
+}
+
+std::vector<std::string>
+simulateAndCheck(const Ddg &ddg, const MachineModel &machine,
+                 const PartialSchedule &ps, long body_iters)
+{
+    SimResult sim = simulateSchedule(ddg, machine, ps, body_iters);
+    std::vector<std::string> problems = sim.problems;
+    StoreLog ref = referenceExecute(ddg, body_iters);
+    for (auto &p : compareStoreLogs(ref, sim.log))
+        problems.push_back(std::move(p));
+    return problems;
+}
+
+} // namespace dms

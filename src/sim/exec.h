@@ -1,0 +1,64 @@
+#ifndef DMS_SIM_EXEC_H
+#define DMS_SIM_EXEC_H
+
+/**
+ * @file
+ * Cycle-accurate execution of a modulo schedule on the clustered
+ * machine. Every active flow edge is one FIFO queue (LRF or CQRF
+ * after queue allocation); producers push results when they become
+ * available, consumers pop at issue. The simulator checks the
+ * queue discipline the hardware relies on — values arrive in
+ * iteration order, are available by the consumer's issue cycle,
+ * and are read exactly once — and logs every stored value for
+ * comparison against the sequential reference interpreter.
+ */
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.h"
+#include "sched/schedule.h"
+#include "sim/reference.h"
+
+namespace dms {
+
+/** Result of simulating a pipelined loop. */
+struct SimResult
+{
+    bool ok = false;
+
+    /** Cycles executed: (iterations + SC - 1) * II. */
+    long cycles = 0;
+
+    /** Values stored, sorted like the reference log. */
+    StoreLog log;
+
+    /** FIFO / availability violations (empty when ok). */
+    std::vector<std::string> problems;
+
+    /** Peak entries across all edge queues (occupancy check). */
+    int maxQueueOccupancy = 0;
+};
+
+/**
+ * Execute @p body_iters iterations of the scheduled loop.
+ * @p ps must be a complete legal schedule of @p ddg.
+ */
+SimResult simulateSchedule(const Ddg &ddg,
+                           const MachineModel &machine,
+                           const PartialSchedule &ps,
+                           long body_iters);
+
+/**
+ * Convenience: simulate and compare against the reference
+ * interpreter run on the same DDG. Returns all problems (empty =
+ * end-to-end correct).
+ */
+std::vector<std::string> simulateAndCheck(const Ddg &ddg,
+                                          const MachineModel &machine,
+                                          const PartialSchedule &ps,
+                                          long body_iters);
+
+} // namespace dms
+
+#endif // DMS_SIM_EXEC_H

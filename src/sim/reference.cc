@@ -1,0 +1,115 @@
+#include "sim/reference.h"
+
+#include <algorithm>
+
+#include "ir/verify.h"
+#include "sim/value.h"
+#include "support/diag.h"
+
+namespace dms {
+
+void
+StoreLog::sort()
+{
+    std::sort(records.begin(), records.end());
+}
+
+StoreLog
+StoreLog::truncated(long limit) const
+{
+    StoreLog out;
+    for (const StoreRecord &r : records) {
+        if (r.origIter < limit)
+            out.records.push_back(r);
+    }
+    return out;
+}
+
+StoreLog
+referenceExecute(const Ddg &ddg, long body_iters)
+{
+    const int f = ddg.unrollFactor();
+    const std::vector<OpId> topo = topoOrderZeroDistance(ddg);
+
+    // Ring buffer of the last (max distance + 1) iterations of
+    // every op's value.
+    int max_dist = 0;
+    for (EdgeId e = 0; e < ddg.numEdges(); ++e) {
+        if (ddg.edgeActive(e))
+            max_dist = std::max(max_dist, ddg.edge(e).distance);
+    }
+    const int window = max_dist + 1;
+    std::vector<std::vector<std::uint64_t>> ring(
+        static_cast<size_t>(ddg.numOps()),
+        std::vector<std::uint64_t>(static_cast<size_t>(window), 0));
+
+    StoreLog log;
+    for (long i = 0; i < body_iters; ++i) {
+        for (OpId id : topo) {
+            const Operation &op = ddg.op(id);
+            long orig_iter = i * f + op.iterOffset;
+
+            std::uint64_t in[2] = {invariantOperand(op.origId, 0),
+                                   invariantOperand(op.origId, 1)};
+            for (EdgeId e : ddg.flowInputs(id)) {
+                const Edge &ed = ddg.edge(e);
+                if (ed.replaced)
+                    continue;
+                long src_iter = i - ed.distance;
+                const Operation &src = ddg.op(ed.src);
+                std::uint64_t v;
+                if (src_iter < 0) {
+                    v = liveInValue(src.origId,
+                                    src_iter * f + src.iterOffset);
+                } else {
+                    v = ring[static_cast<size_t>(ed.src)]
+                            [static_cast<size_t>(src_iter % window)];
+                }
+                in[ed.operandIndex] = v;
+            }
+
+            std::uint64_t result =
+                evalOp(op, in[0], in[1], orig_iter);
+            ring[static_cast<size_t>(id)]
+                [static_cast<size_t>(i % window)] = result;
+
+            if (op.opc == Opcode::Store) {
+                log.records.push_back(
+                    {op.origId, orig_iter, result});
+            }
+        }
+    }
+    log.sort();
+    return log;
+}
+
+std::vector<std::string>
+compareStoreLogs(const StoreLog &expected, const StoreLog &actual)
+{
+    std::vector<std::string> problems;
+    if (expected.records.size() != actual.records.size()) {
+        problems.push_back(strfmt("store count differs: %zu vs %zu",
+                                  expected.records.size(),
+                                  actual.records.size()));
+    }
+    size_t n = std::min(expected.records.size(),
+                        actual.records.size());
+    for (size_t i = 0; i < n; ++i) {
+        const StoreRecord &a = expected.records[i];
+        const StoreRecord &b = actual.records[i];
+        if (!(a == b)) {
+            problems.push_back(
+                strfmt("record %zu: expected (store%d, iter%ld, "
+                       "%016llx), got (store%d, iter%ld, %016llx)",
+                       i, a.origStore, a.origIter,
+                       static_cast<unsigned long long>(a.value),
+                       b.origStore, b.origIter,
+                       static_cast<unsigned long long>(b.value)));
+            if (problems.size() > 8)
+                break;
+        }
+    }
+    return problems;
+}
+
+} // namespace dms

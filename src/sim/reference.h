@@ -1,0 +1,69 @@
+#ifndef DMS_SIM_REFERENCE_H
+#define DMS_SIM_REFERENCE_H
+
+/**
+ * @file
+ * Sequential reference interpreter: executes a DDG iteration by
+ * iteration in dependence order and logs every stored value. The
+ * log is the ground truth the pipelined simulator is checked
+ * against (and transforms are checked to preserve).
+ */
+
+#include <string>
+#include <vector>
+
+#include "ir/ddg.h"
+
+namespace dms {
+
+/** One stored value, keyed by original identity. */
+struct StoreRecord
+{
+    OpId origStore = kInvalidOp; ///< origId of the store op
+    long origIter = 0;           ///< original iteration index
+    std::uint64_t value = 0;
+
+    bool
+    operator<(const StoreRecord &o) const
+    {
+        if (origStore != o.origStore)
+            return origStore < o.origStore;
+        return origIter < o.origIter;
+    }
+    bool
+    operator==(const StoreRecord &o) const
+    {
+        return origStore == o.origStore && origIter == o.origIter &&
+               value == o.value;
+    }
+};
+
+/** Sorted log of stored values. */
+struct StoreLog
+{
+    std::vector<StoreRecord> records;
+
+    void sort();
+
+    /** Records with origIter < limit (for unroll comparisons). */
+    StoreLog truncated(long limit) const;
+};
+
+/**
+ * Execute @p body_iters iterations of the (possibly unrolled /
+ * transformed) body. Values of producer instances before iteration
+ * 0 come from liveInValue(); unfed operand slots from
+ * invariantOperand(). The returned log is sorted.
+ */
+StoreLog referenceExecute(const Ddg &ddg, long body_iters);
+
+/**
+ * Compare two sorted logs; returns human-readable mismatches
+ * (empty = identical).
+ */
+std::vector<std::string> compareStoreLogs(const StoreLog &expected,
+                                          const StoreLog &actual);
+
+} // namespace dms
+
+#endif // DMS_SIM_REFERENCE_H

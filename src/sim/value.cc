@@ -1,0 +1,66 @@
+#include "sim/value.h"
+
+#include "support/diag.h"
+
+namespace dms {
+
+std::uint64_t
+mix64(std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    std::uint64_t z = a * 0x9e3779b97f4a7c15ULL + b;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL + c;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+loadValue(int mem_stream, long orig_iter, int mem_offset)
+{
+    return mix64(0x10adULL,
+                 static_cast<std::uint64_t>(mem_stream) + 1,
+                 static_cast<std::uint64_t>(orig_iter + mem_offset +
+                                            (1L << 20)));
+}
+
+std::uint64_t
+liveInValue(OpId orig_id, long orig_iter)
+{
+    return mix64(0x11feULL, static_cast<std::uint64_t>(orig_id) + 1,
+                 static_cast<std::uint64_t>(orig_iter + (1L << 20)));
+}
+
+std::uint64_t
+invariantOperand(OpId orig_id, int slot)
+{
+    return mix64(0x1a7aULL, static_cast<std::uint64_t>(orig_id) + 1,
+                 static_cast<std::uint64_t>(slot) + 1);
+}
+
+std::uint64_t
+evalOp(const Operation &op, std::uint64_t in0, std::uint64_t in1,
+       long orig_iter)
+{
+    switch (op.opc) {
+      case Opcode::Load:
+        return loadValue(op.memStream, orig_iter, op.memOffset);
+      case Opcode::Const:
+        return static_cast<std::uint64_t>(op.literal);
+      case Opcode::Add:
+        return in0 + in1;
+      case Opcode::Sub:
+        return in0 - in1;
+      case Opcode::Mul:
+        return in0 * in1;
+      case Opcode::Div:
+        return in0 / (in1 | 1);
+      case Opcode::Copy:
+      case Opcode::Move:
+      case Opcode::Store:
+        return in0;
+      default:
+        break;
+    }
+    panic("evalOp: bad opcode %d", static_cast<int>(op.opc));
+}
+
+} // namespace dms

@@ -1,0 +1,52 @@
+#ifndef DMS_SIM_VALUE_H
+#define DMS_SIM_VALUE_H
+
+/**
+ * @file
+ * Deterministic value semantics for loop operations. Loads return a
+ * pure function of (memory stream, original iteration index), so
+ * the sequential reference interpreter and the pipelined simulator
+ * can be compared value-for-value across unrolling, the copy
+ * pre-pass, and DMS chain insertion.
+ */
+
+#include <cstdint>
+
+#include "ir/ddg.h"
+
+namespace dms {
+
+/** 64-bit mixing of up to three keys (SplitMix finalizer). */
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b = 0,
+                    std::uint64_t c = 0);
+
+/**
+ * Value a Load yields: f(stream, original iteration + offset).
+ */
+std::uint64_t loadValue(int mem_stream, long orig_iter,
+                        int mem_offset);
+
+/**
+ * Live-in value of a lifetime whose producer instance lies before
+ * iteration 0 — "whatever the register held at loop entry", chosen
+ * deterministically from the producer's original identity so both
+ * executions agree.
+ */
+std::uint64_t liveInValue(OpId orig_id, long orig_iter);
+
+/**
+ * Loop-invariant operand for an input slot no flow edge feeds.
+ */
+std::uint64_t invariantOperand(OpId orig_id, int slot);
+
+/**
+ * Execute one operation instance. @p in0 / @p in1 are the operand
+ * values (pass invariantOperand for unfed slots); @p orig_iter is
+ * the original iteration index of this instance.
+ */
+std::uint64_t evalOp(const Operation &op, std::uint64_t in0,
+                     std::uint64_t in1, long orig_iter);
+
+} // namespace dms
+
+#endif // DMS_SIM_VALUE_H

@@ -1,0 +1,57 @@
+#ifndef DMS_SUPPORT_DIAG_H
+#define DMS_SUPPORT_DIAG_H
+
+/**
+ * @file
+ * Diagnostic helpers in the gem5 spirit: panic() for internal bugs,
+ * fatal() for user errors, warn()/inform() for status messages.
+ */
+
+#include <cstdarg>
+#include <string>
+
+namespace dms {
+
+/**
+ * Abort with a message. Call when an internal invariant is broken —
+ * i.e. a bug in DMS itself, never a user mistake.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit(1) with a message. Call when the simulation cannot continue
+ * because of user input (bad configuration, invalid arguments).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr; execution continues. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assertion macro that survives NDEBUG builds. Use for invariants
+ * whose violation would silently corrupt a schedule.
+ */
+#define DMS_ASSERT(cond, ...)                                          \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::dms::panic("assertion '%s' failed at %s:%d: %s",         \
+                         #cond, __FILE__, __LINE__,                    \
+                         ::dms::strfmt(__VA_ARGS__).c_str());          \
+        }                                                              \
+    } while (0)
+
+} // namespace dms
+
+#endif // DMS_SUPPORT_DIAG_H

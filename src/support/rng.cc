@@ -1,0 +1,22 @@
+#include "support/rng.h"
+
+namespace dms {
+
+int
+Rng::pickWeighted(const std::vector<double> &weights)
+{
+    DMS_ASSERT(!weights.empty(), "empty weight vector");
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    DMS_ASSERT(total > 0.0, "non-positive weight total");
+    double x = uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x <= 0.0)
+            return static_cast<int>(i);
+    }
+    return static_cast<int>(weights.size()) - 1;
+}
+
+} // namespace dms

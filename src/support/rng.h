@@ -1,0 +1,68 @@
+#ifndef DMS_SUPPORT_RNG_H
+#define DMS_SUPPORT_RNG_H
+
+/**
+ * @file
+ * Deterministic pseudo-random number generator used by the workload
+ * generators and property tests. SplitMix64 core: tiny, fast, and
+ * reproducible across platforms (unlike std::mt19937 distributions).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "support/diag.h"
+
+namespace dms {
+
+/** Small deterministic RNG (SplitMix64). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [lo, hi], inclusive. */
+    int
+    range(int lo, int hi)
+    {
+        DMS_ASSERT(lo <= hi, "bad range [%d, %d]", lo, hi);
+        std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<int>(next() % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Pick an index in [0, weights.size()) with probability
+     * proportional to weights[i].
+     */
+    int pickWeighted(const std::vector<double> &weights);
+
+    /** Fork an independent stream (for per-loop reproducibility). */
+    Rng fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace dms
+
+#endif // DMS_SUPPORT_RNG_H

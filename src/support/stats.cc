@@ -1,0 +1,85 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diag.h"
+
+namespace dms {
+
+void
+Accumulator::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+Accumulator::min() const
+{
+    DMS_ASSERT(n_ > 0, "min() of empty accumulator");
+    return min_;
+}
+
+double
+Accumulator::max() const
+{
+    DMS_ASSERT(n_ > 0, "max() of empty accumulator");
+    return max_;
+}
+
+double
+Accumulator::mean() const
+{
+    return n_ == 0 ? 0.0 : mean_;
+}
+
+double
+Accumulator::stddev() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+Histogram::Histogram(int lo, int width, int buckets)
+    : lo_(lo), width_(width), counts_(static_cast<size_t>(buckets), 0)
+{
+    DMS_ASSERT(width > 0 && buckets > 0, "bad histogram shape");
+}
+
+void
+Histogram::add(int value)
+{
+    int b = (value - lo_) / width_;
+    b = std::clamp(b, 0, numBuckets() - 1);
+    ++counts_[static_cast<size_t>(b)];
+    ++total_;
+}
+
+double
+Histogram::fraction(int b) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(bucketCount(b)) /
+           static_cast<double>(total_);
+}
+
+std::string
+Histogram::bucketLabel(int b) const
+{
+    int lo = lo_ + b * width_;
+    return strfmt("[%d,%d)", lo, lo + width_);
+}
+
+} // namespace dms

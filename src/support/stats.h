@@ -1,0 +1,64 @@
+#ifndef DMS_SUPPORT_STATS_H
+#define DMS_SUPPORT_STATS_H
+
+/**
+ * @file
+ * Streaming statistics accumulators used by the evaluation harness.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dms {
+
+/** Streaming min/max/mean/stddev accumulator (Welford's algorithm). */
+class Accumulator
+{
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double min() const;
+    double max() const;
+    double mean() const;
+    /** Sample standard deviation; 0 for fewer than two samples. */
+    double stddev() const;
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/** Fixed-bucket histogram over integer values. */
+class Histogram
+{
+  public:
+    /** Buckets [lo, lo+width), ...; out-of-range clamps to ends. */
+    Histogram(int lo, int width, int buckets);
+
+    void add(int value);
+
+    std::uint64_t total() const { return total_; }
+    std::uint64_t bucketCount(int b) const { return counts_.at(b); }
+    int numBuckets() const { return static_cast<int>(counts_.size()); }
+    /** Fraction of samples in bucket b (0 if empty histogram). */
+    double fraction(int b) const;
+    /** Human-readable bucket label such as "[4,8)". */
+    std::string bucketLabel(int b) const;
+
+  private:
+    int lo_;
+    int width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace dms
+
+#endif // DMS_SUPPORT_STATS_H

@@ -1,0 +1,63 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dms {
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t pos = s.find(delim, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(start));
+            break;
+        }
+        out.emplace_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+trim(std::string_view s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+bool
+parseInt(std::string_view s, int &out)
+{
+    std::string t = trim(s);
+    if (t.empty())
+        return false;
+    char *end = nullptr;
+    long v = std::strtol(t.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || v < 0)
+        return false;
+    out = static_cast<int>(v);
+    return true;
+}
+
+} // namespace dms

@@ -1,0 +1,30 @@
+#ifndef DMS_SUPPORT_STRINGS_H
+#define DMS_SUPPORT_STRINGS_H
+
+/**
+ * @file
+ * Small string helpers used by config parsing and emitters.
+ */
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dms {
+
+/** Split on a delimiter; empty fields are preserved. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Join with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/** Strip leading/trailing ASCII whitespace. */
+std::string trim(std::string_view s);
+
+/** Parse a non-negative integer; returns false on garbage. */
+bool parseInt(std::string_view s, int &out);
+
+} // namespace dms
+
+#endif // DMS_SUPPORT_STRINGS_H

@@ -1,0 +1,113 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/diag.h"
+
+namespace dms {
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    if (!header_.empty()) {
+        DMS_ASSERT(cells.size() == header_.size(),
+                   "row width %zu != header width %zu",
+                   cells.size(), header_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    return strfmt("%.*f", precision, v);
+}
+
+std::string
+Table::num(int v)
+{
+    return strfmt("%d", v);
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    return strfmt("%.*f%%", precision, fraction * 100.0);
+}
+
+std::string
+Table::ascii() const
+{
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    if (!header_.empty())
+        grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    auto fmtRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (size_t i = 0; i < cells.size(); ++i) {
+            line += strfmt("%-*s", static_cast<int>(widths[i]) + 2,
+                           cells[i].c_str());
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out;
+    if (!title_.empty())
+        out += "== " + title_ + " ==\n";
+    if (!header_.empty()) {
+        out += fmtRow(header_);
+        size_t total = 0;
+        for (size_t w : widths)
+            total += w + 2;
+        out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+    }
+    for (const auto &r : rows_)
+        out += fmtRow(r);
+    return out;
+}
+
+std::string
+Table::csv() const
+{
+    auto join = [](const std::vector<std::string> &cells) {
+        std::string line;
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                line += ",";
+            line += cells[i];
+        }
+        return line + "\n";
+    };
+    std::string out;
+    if (!header_.empty())
+        out += join(header_);
+    for (const auto &r : rows_)
+        out += join(r);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(ascii().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace dms

@@ -1,0 +1,50 @@
+#ifndef DMS_SUPPORT_TABLE_H
+#define DMS_SUPPORT_TABLE_H
+
+/**
+ * @file
+ * Minimal ASCII table / CSV formatter for benchmark output. Every
+ * bench binary prints its figure data through this so the rows the
+ * paper reports are easy to diff.
+ */
+
+#include <string>
+#include <vector>
+
+namespace dms {
+
+/** Column-aligned text table with an optional title. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (must match header width if one was set). */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+    static std::string num(int v);
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render as aligned ASCII. */
+    std::string ascii() const;
+
+    /** Render as CSV (RFC-4180-lite, no quoting of commas needed). */
+    std::string csv() const;
+
+    /** Print the ASCII form to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dms
+
+#endif // DMS_SUPPORT_TABLE_H

@@ -1,0 +1,39 @@
+#ifndef DMS_SUPPORT_TYPES_H
+#define DMS_SUPPORT_TYPES_H
+
+/**
+ * @file
+ * Fundamental integer typedefs shared by every DMS module.
+ */
+
+#include <cstdint>
+
+namespace dms {
+
+/** Index of an operation inside a DDG. Negative means "invalid". */
+using OpId = std::int32_t;
+
+/** Index of an edge inside a DDG. Negative means "invalid". */
+using EdgeId = std::int32_t;
+
+/** Cluster number within the ring, in [0, numClusters). */
+using ClusterId = std::int32_t;
+
+/** Absolute schedule time (cycle) of an operation instance. */
+using Cycle = std::int32_t;
+
+/** Sentinel for "no operation". */
+inline constexpr OpId kInvalidOp = -1;
+
+/** Sentinel for "no edge". */
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/** Sentinel for "no cluster assigned". */
+inline constexpr ClusterId kInvalidCluster = -1;
+
+/** Sentinel for "not scheduled". */
+inline constexpr Cycle kUnscheduled = INT32_MIN;
+
+} // namespace dms
+
+#endif // DMS_SUPPORT_TYPES_H

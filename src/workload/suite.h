@@ -1,0 +1,43 @@
+#ifndef DMS_WORKLOAD_SUITE_H
+#define DMS_WORKLOAD_SUITE_H
+
+/**
+ * @file
+ * Benchmark suites mirroring the paper's evaluation setup: "all
+ * eligible innermost loops" (set 1) and "only loops without
+ * recurrences" (set 2), which are "highly vectorizable, having
+ * characteristics similar to the ones usually found in DSP
+ * applications".
+ */
+
+#include <vector>
+
+#include "workload/kernels.h"
+#include "workload/synth.h"
+
+namespace dms {
+
+/** Which loops of a suite an experiment uses. */
+enum class LoopSet : std::uint8_t {
+    Set1, ///< all loops
+    Set2, ///< loops without recurrences only
+};
+
+/** The default seed used by every bench binary. */
+inline constexpr std::uint64_t kSuiteSeed = 0x4d4d463939ULL;
+
+/**
+ * The standard experiment suite: 1258 synthetic loops (the paper's
+ * loop count) plus the named kernels appended for grounding,
+ * deterministic in the seed.
+ */
+std::vector<Loop> standardSuite(std::uint64_t seed = kSuiteSeed,
+                                int synth_count = 1258);
+
+/** Indices of the loops belonging to @p set. */
+std::vector<size_t> selectSet(const std::vector<Loop> &suite,
+                              LoopSet set);
+
+} // namespace dms
+
+#endif // DMS_WORKLOAD_SUITE_H

@@ -1,0 +1,62 @@
+#ifndef DMS_WORKLOAD_SYNTH_H
+#define DMS_WORKLOAD_SYNTH_H
+
+/**
+ * @file
+ * Synthetic loop generator. The paper evaluates on 1258 eligible
+ * innermost loops of the Perfect Club Benchmark, which we cannot
+ * redistribute; this generator produces seeded random DDGs whose
+ * size, operation mix, fan-out and recurrence statistics follow the
+ * characterizations of software-pipelinable numeric loops (see
+ * DESIGN.md for the substitution argument).
+ */
+
+#include "support/rng.h"
+#include "workload/kernels.h"
+
+namespace dms {
+
+/** Generator tuning knobs (defaults match DESIGN.md). */
+struct SynthParams
+{
+    int minOps = 4;
+    int maxOps = 44;
+
+    /** Probability the loop carries at least one recurrence. */
+    double recurrenceProb = 0.42;
+
+    /** Probability of a second recurrence given the first. */
+    double secondRecurrenceProb = 0.3;
+
+    /** Probability a recurrence cycle is 2 ops long (else 1). */
+    double longCycleProb = 0.45;
+
+    /** Fraction ranges for the op mix. */
+    double loadFracLo = 0.15;
+    double loadFracHi = 0.4;
+    double storeFracLo = 0.08;
+    double storeFracHi = 0.2;
+    double mulFrac = 0.42;   ///< of arithmetic ops
+    double divProb = 0.03;   ///< a mul becomes a div
+
+    /** Probability of a store->load memory ordering edge. */
+    double memDepProb = 0.12;
+
+    long tripLo = 30;
+    long tripHi = 600;
+};
+
+/** Generate one random loop (deterministic in @p rng state). */
+Loop synthesizeLoop(Rng &rng, const SynthParams &params, int index);
+
+/**
+ * The full synthetic suite: @p count loops from @p seed. The
+ * default count matches the paper's 1258 eligible loops.
+ */
+std::vector<Loop> synthesizeSuite(std::uint64_t seed,
+                                  int count = 1258,
+                                  const SynthParams &params = {});
+
+} // namespace dms
+
+#endif // DMS_WORKLOAD_SYNTH_H

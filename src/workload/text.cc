@@ -1,0 +1,195 @@
+#include "workload/text.h"
+
+#include <map>
+
+#include "ir/scc.h"
+#include "ir/verify.h"
+#include "support/diag.h"
+#include "support/strings.h"
+
+namespace dms {
+
+namespace {
+
+Opcode
+opcodeFromName(const std::string &name, int line)
+{
+    for (int i = 0; i < kNumOpcodes; ++i) {
+        Opcode o = static_cast<Opcode>(i);
+        if (name == opcodeName(o))
+            return o;
+    }
+    fatal("line %d: unknown opcode '%s'", line, name.c_str());
+}
+
+DepKind
+depKindFromName(const std::string &name, int line)
+{
+    if (name == "flow")
+        return DepKind::Flow;
+    if (name == "anti")
+        return DepKind::Anti;
+    if (name == "output")
+        return DepKind::Output;
+    if (name == "memory")
+        return DepKind::Memory;
+    fatal("line %d: unknown dependence kind '%s'", line,
+          name.c_str());
+}
+
+/** Parse "key=value" attributes into a map. */
+std::map<std::string, std::string>
+attrs(const std::vector<std::string> &fields, size_t from, int line)
+{
+    std::map<std::string, std::string> out;
+    for (size_t i = from; i < fields.size(); ++i) {
+        auto kv = split(fields[i], '=');
+        if (kv.size() != 2)
+            fatal("line %d: bad attribute '%s'", line,
+                  fields[i].c_str());
+        out[kv[0]] = kv[1];
+    }
+    return out;
+}
+
+int
+attrInt(const std::map<std::string, std::string> &a,
+        const std::string &key, int fallback, int line)
+{
+    auto it = a.find(key);
+    if (it == a.end())
+        return fallback;
+    int v = 0;
+    if (!parseInt(it->second, v))
+        fatal("line %d: bad integer for %s", line, key.c_str());
+    return v;
+}
+
+std::vector<std::string>
+tokens(const std::string &line)
+{
+    std::vector<std::string> out;
+    for (const std::string &t : split(trim(line), ' ')) {
+        if (!t.empty())
+            out.push_back(t);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+loopToText(const Loop &loop)
+{
+    std::string out = strfmt("loop %s trip %ld\n",
+                             loop.name.c_str(), loop.tripCount);
+    for (OpId id = 0; id < loop.ddg.numOps(); ++id) {
+        if (!loop.ddg.opLive(id))
+            continue;
+        const Operation &o = loop.ddg.op(id);
+        out += strfmt("op %d %s", id, opcodeName(o.opc));
+        if (o.memStream >= 0)
+            out += strfmt(" stream=%d", o.memStream);
+        if (o.memOffset != 0)
+            out += strfmt(" offset=%d", o.memOffset);
+        if (o.opc == Opcode::Const)
+            out += strfmt(" lit=%lld",
+                          static_cast<long long>(o.literal));
+        out += "\n";
+    }
+    for (EdgeId e = 0; e < loop.ddg.numEdges(); ++e) {
+        if (!loop.ddg.edgeLive(e))
+            continue;
+        const Edge &ed = loop.ddg.edge(e);
+        out += strfmt("edge %d %d %s dist=%d", ed.src, ed.dst,
+                      depKindName(ed.kind), ed.distance);
+        if (ed.kind == DepKind::Flow)
+            out += strfmt(" slot=%d", ed.operandIndex);
+        else
+            out += strfmt(" lat=%d", ed.latency);
+        out += "\n";
+    }
+    return out;
+}
+
+Loop
+loopFromText(const std::string &text, const LatencyModel &lat)
+{
+    Loop loop;
+    loop.name = "unnamed";
+    std::map<int, OpId> ids; // file id -> ddg id
+
+    int line_no = 0;
+    for (const std::string &raw : split(text, '\n')) {
+        ++line_no;
+        std::string line = trim(raw);
+        if (line.empty() || line[0] == '#')
+            continue;
+        auto f = tokens(line);
+
+        if (f[0] == "loop") {
+            if (f.size() < 2)
+                fatal("line %d: loop needs a name", line_no);
+            loop.name = f[1];
+            if (f.size() >= 4 && f[2] == "trip") {
+                int trip = 0;
+                if (!parseInt(f[3], trip))
+                    fatal("line %d: bad trip count", line_no);
+                loop.tripCount = trip;
+            }
+        } else if (f[0] == "op") {
+            if (f.size() < 3)
+                fatal("line %d: op needs id and opcode", line_no);
+            int fid = 0;
+            if (!parseInt(f[1], fid))
+                fatal("line %d: bad op id", line_no);
+            if (ids.count(fid))
+                fatal("line %d: duplicate op id %d", line_no, fid);
+            Opcode opc = opcodeFromName(f[2], line_no);
+            auto a = attrs(f, 3, line_no);
+            OpId id = loop.ddg.addOp(opc);
+            loop.ddg.op(id).memStream =
+                attrInt(a, "stream", -1, line_no);
+            loop.ddg.op(id).memOffset =
+                attrInt(a, "offset", 0, line_no);
+            loop.ddg.op(id).literal =
+                attrInt(a, "lit", 0, line_no);
+            ids[fid] = id;
+        } else if (f[0] == "edge") {
+            if (f.size() < 4)
+                fatal("line %d: edge needs src dst kind", line_no);
+            int src = 0;
+            int dst = 0;
+            if (!parseInt(f[1], src) || !parseInt(f[2], dst))
+                fatal("line %d: bad edge endpoints", line_no);
+            if (!ids.count(src) || !ids.count(dst))
+                fatal("line %d: edge references unknown op",
+                      line_no);
+            DepKind kind = depKindFromName(f[3], line_no);
+            auto a = attrs(f, 4, line_no);
+            int dist = attrInt(a, "dist", 0, line_no);
+            if (kind == DepKind::Flow) {
+                int slot = attrInt(a, "slot", 0, line_no);
+                OpId s = ids[src];
+                loop.ddg.addEdge(s, ids[dst], kind, dist,
+                                 lat.of(loop.ddg.op(s).opc), slot);
+            } else {
+                int fallback = kind == DepKind::Anti ? 0 : 1;
+                int l = attrInt(a, "lat", fallback, line_no);
+                loop.ddg.addEdge(ids[src], ids[dst], kind, dist, l);
+            }
+        } else {
+            fatal("line %d: unknown directive '%s'", line_no,
+                  f[0].c_str());
+        }
+    }
+
+    auto problems = verifyDdg(loop.ddg);
+    if (!problems.empty())
+        fatal("invalid loop '%s': %s", loop.name.c_str(),
+              problems[0].c_str());
+    loop.recurrence = hasRecurrence(loop.ddg);
+    return loop;
+}
+
+} // namespace dms

@@ -1,0 +1,45 @@
+#ifndef DMS_WORKLOAD_TEXT_H
+#define DMS_WORKLOAD_TEXT_H
+
+/**
+ * @file
+ * Human-readable DDG serialization, so loop bodies can be stored
+ * in files, diffed, and fed to the command-line driver. Format:
+ *
+ *   # comment
+ *   loop dot_product trip 500
+ *   op 0 load stream=0
+ *   op 1 load stream=1
+ *   op 2 mul
+ *   op 3 add
+ *   op 4 store stream=2
+ *   edge 0 2 flow dist=0 slot=0
+ *   edge 1 2 flow dist=0 slot=1
+ *   edge 2 3 flow dist=0 slot=0
+ *   edge 3 3 flow dist=1 slot=1
+ *   edge 3 4 flow dist=0 slot=0
+ *
+ * Flow-edge latencies come from the latency model at parse time;
+ * non-flow edges take an explicit lat=N attribute (default 1 for
+ * memory, 0 for anti, 1 for output).
+ */
+
+#include <string>
+
+#include "workload/kernels.h"
+
+namespace dms {
+
+/** Serialize a loop (ops, edges, trip count). */
+std::string loopToText(const Loop &loop);
+
+/**
+ * Parse the textual format. Latencies of flow edges are taken
+ * from @p lat. fatal()s with a line number on malformed input.
+ */
+Loop loopFromText(const std::string &text,
+                  const LatencyModel &lat = LatencyModel());
+
+} // namespace dms
+
+#endif // DMS_WORKLOAD_TEXT_H

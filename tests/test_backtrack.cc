@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Adversarial stress for DMS backtracking and chain dissolution —
+ * the paper's "special attention must be paid in the implementation
+ * of the backtracking procedures" machinery. Tight budgets, tiny
+ * IIs, hostile graph shapes and repeated scheduling keep evicting
+ * moves, producers and consumers; every outcome must stay legal and
+ * execute correctly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dms.h"
+#include "ir/prepass.h"
+#include "ir/verify.h"
+#include "sched/verifier.h"
+#include "sim/exec.h"
+#include "workload/kernels.h"
+#include "workload/synth.h"
+
+namespace dms {
+namespace {
+
+/** Every op scheduled, no move leaked, chains intact, sim exact. */
+void
+expectFullyLegal(const DmsOutcome &out, const MachineModel &m,
+                 const char *what)
+{
+    ASSERT_TRUE(out.sched.ok) << what;
+    auto problems =
+        verifySchedule(*out.ddg, m, *out.sched.schedule);
+    ASSERT_TRUE(problems.empty()) << what << ": " << problems[0];
+
+    // No tombstoned move may still be referenced by a live edge,
+    // and every live move is scheduled (moves never wait).
+    for (OpId id = 0; id < out.ddg->numOps(); ++id) {
+        if (!out.ddg->opLive(id))
+            continue;
+        if (out.ddg->op(id).origin == OpOrigin::MoveOp)
+            EXPECT_TRUE(out.sched.schedule->isScheduled(id)) << what;
+    }
+    // Replaced edges and their chains are consistent (structural
+    // verify on the transformed graph).
+    EXPECT_TRUE(verifyDdg(*out.ddg).empty()) << what;
+
+    auto sim = simulateAndCheck(*out.ddg, m, *out.sched.schedule, 9);
+    EXPECT_TRUE(sim.empty())
+        << what << ": " << (sim.empty() ? "" : sim[0]);
+}
+
+/**
+ * A comb: one producer chain stretched across the ring with
+ * consumers joining values born far apart — maximal chain traffic.
+ */
+Ddg
+combBody(int teeth)
+{
+    LoopBuilder b;
+    std::vector<OpId> loads;
+    for (int i = 0; i < teeth; ++i)
+        loads.push_back(b.load(i));
+    // Pair first with last, second with second-to-last, ...
+    std::vector<OpId> joins;
+    for (int i = 0; i < teeth / 2; ++i)
+        joins.push_back(
+            b.add(loads[static_cast<size_t>(i)],
+                  loads[static_cast<size_t>(teeth - 1 - i)]));
+    OpId acc = joins[0];
+    for (size_t i = 1; i < joins.size(); ++i)
+        acc = b.add(acc, joins[i]);
+    b.store(teeth, acc);
+    Ddg g = b.take();
+    singleUsePrepass(g, 1);
+    return g;
+}
+
+TEST(Backtrack, CombUnderMinimalBudget)
+{
+    for (int clusters : {5, 7, 10}) {
+        MachineModel m = MachineModel::clusteredRing(clusters);
+        DmsParams p;
+        p.budgetRatio = 1; // constant churn, many II attempts
+        p.restartsPerII = 1;
+        DmsOutcome out = scheduleDms(combBody(12), m, p);
+        expectFullyLegal(out, m,
+                         strfmt("comb @%d", clusters).c_str());
+    }
+}
+
+TEST(Backtrack, CombWithScarceCopyUnits)
+{
+    // One copy unit and a small II leave almost no chain slots:
+    // strategy 2 must fail over to strategy 3 often.
+    MachineModel m = MachineModel::clusteredRing(8);
+    DmsOutcome out = scheduleDms(combBody(16), m);
+    expectFullyLegal(out, m, "comb16 @8");
+    EXPECT_GT(out.sched.movesInserted, 0);
+}
+
+TEST(Backtrack, RoundRobinS3MaximizesCommEjections)
+{
+    // RoundRobin deliberately picks conflicting clusters, forcing
+    // the communication-ejection path of strategy 3 constantly.
+    DmsParams p;
+    p.s3Policy = S3ClusterPolicy::RoundRobin;
+    p.enableChains = false; // no escape via chains
+    p.budgetRatio = 2;
+    for (int clusters : {4, 6, 8}) {
+        MachineModel m = MachineModel::clusteredRing(clusters);
+        DmsOutcome out = scheduleDms(combBody(10), m, p);
+        expectFullyLegal(
+            out, m, strfmt("rr nochain @%d", clusters).c_str());
+        EXPECT_EQ(out.sched.movesInserted, 0);
+    }
+}
+
+TEST(Backtrack, CopyHeavyBodiesOnCopyStarvedRings)
+{
+    // Fan-out-heavy graph: the pre-pass floods the copy units the
+    // chains also need, exercising the copy-class no-eviction path
+    // in commitStrategy2.
+    LoopBuilder b;
+    OpId x = b.load(0);
+    OpId y = b.mul1(x);
+    std::vector<OpId> sinks;
+    for (int i = 0; i < 7; ++i) {
+        OpId a = b.add1(y);
+        b.flow(x, a, 1, 0);
+        sinks.push_back(a);
+    }
+    OpId acc = sinks[0];
+    for (size_t i = 1; i < sinks.size(); ++i)
+        acc = b.add(acc, sinks[i]);
+    b.store(1, acc);
+    Ddg g = b.take();
+    singleUsePrepass(g, 1);
+    DdgVerifyOptions opts;
+    opts.maxFlowFanout = 2;
+    ASSERT_TRUE(verifyDdg(g, opts).empty());
+
+    for (int clusters : {4, 6, 10}) {
+        MachineModel m = MachineModel::clusteredRing(clusters);
+        DmsOutcome out = scheduleDms(g, m);
+        expectFullyLegal(
+            out, m, strfmt("copyheavy @%d", clusters).c_str());
+    }
+}
+
+TEST(Backtrack, CarriedEdgesThroughChains)
+{
+    // Loop-carried far edges: the chain's first sub-edge inherits
+    // the distance, so evictions must restore it exactly.
+    LoopBuilder b;
+    std::vector<OpId> loads;
+    for (int i = 0; i < 10; ++i)
+        loads.push_back(b.load(i));
+    // Carried join of values from 2 iterations ago.
+    OpId j = b.add(loads[0], loads[9]);
+    OpId k = b.add1(j);
+    b.flow(loads[4], k, 1, 2); // distance-2 use of a middle load
+    OpId acc = b.add(j, k);
+    b.store(10, acc);
+    for (size_t i = 1; i < 9; ++i) {
+        if (i != 4)
+            b.store(11, loads[i]);
+    }
+    Ddg g = b.take();
+    singleUsePrepass(g, 1);
+
+    for (int clusters : {5, 8}) {
+        MachineModel m = MachineModel::clusteredRing(clusters);
+        DmsParams p;
+        p.budgetRatio = 2;
+        DmsOutcome out = scheduleDms(g, m, p);
+        expectFullyLegal(
+            out, m, strfmt("carried @%d", clusters).c_str());
+    }
+}
+
+class BacktrackRandom
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(BacktrackRandom, HostileParamsStayCorrect)
+{
+    auto [seed, budget] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 48271 + 3);
+    SynthParams sp;
+    sp.maxOps = 36;
+    Loop loop = synthesizeLoop(rng, sp, seed);
+
+    for (int clusters : {6, 9}) {
+        MachineModel m = MachineModel::clusteredRing(clusters);
+        Ddg body = loop.ddg;
+        singleUsePrepass(body, m.latencyOf(Opcode::Copy));
+        DmsParams p;
+        p.budgetRatio = budget;
+        p.restartsPerII = 2;
+        DmsOutcome out = scheduleDms(body, m, p);
+        expectFullyLegal(out, m, loop.name.c_str());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BacktrackRandom,
+    ::testing::Combine(::testing::Range(0, 12),
+                       ::testing::Values(1, 3)),
+    [](const auto &info) {
+        return "s" + std::to_string(std::get<0>(info.param)) +
+               "_b" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Backtrack, BudgetExhaustionNeverLeaksState)
+{
+    // Attempts that fail must not corrupt the next attempt: run the
+    // same scheduling twice and expect identical IIs (the per-II
+    // DDG copy isolates attempts).
+    MachineModel m = MachineModel::clusteredRing(7);
+    Ddg body = combBody(14);
+    DmsParams p;
+    p.budgetRatio = 1;
+    DmsOutcome a = scheduleDms(body, m, p);
+    DmsOutcome b2 = scheduleDms(body, m, p);
+    ASSERT_TRUE(a.sched.ok && b2.sched.ok);
+    EXPECT_EQ(a.sched.ii, b2.sched.ii);
+    EXPECT_EQ(a.sched.attempts, b2.sched.attempts);
+    EXPECT_EQ(a.sched.movesInserted, b2.sched.movesInserted);
+}
+
+} // namespace
+} // namespace dms

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Kernel construction, cycle model, IPC accounting, and the
+ * assembly emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/emit.h"
+#include "codegen/perf.h"
+#include "core/dms.h"
+#include "ir/prepass.h"
+#include "sched/ims.h"
+#include "workload/kernels.h"
+
+namespace dms {
+namespace {
+
+TEST(Kernel, RowsHoldAllOps)
+{
+    Loop k = kernelDaxpy();
+    MachineModel m = MachineModel::unclustered(1);
+    SchedOutcome out = scheduleIms(k.ddg, m);
+    ASSERT_TRUE(out.ok);
+    PipelinedLoop loop = buildPipelinedLoop(k.ddg, *out.schedule);
+    EXPECT_EQ(loop.ii, out.ii);
+    size_t total = 0;
+    for (const auto &row : loop.rows)
+        total += row.size();
+    EXPECT_EQ(total, static_cast<size_t>(k.ddg.liveOpCount()));
+}
+
+TEST(Kernel, StageNumbers)
+{
+    Loop k = kernelDaxpy();
+    MachineModel m = MachineModel::unclustered(1);
+    SchedOutcome out = scheduleIms(k.ddg, m);
+    ASSERT_TRUE(out.ok);
+    PipelinedLoop loop = buildPipelinedLoop(k.ddg, *out.schedule);
+    for (const auto &row : loop.rows) {
+        for (const KernelSlot &s : row) {
+            EXPECT_EQ(s.stage,
+                      out.schedule->timeOf(s.op) / loop.ii);
+            EXPECT_LT(s.stage, loop.stageCount);
+        }
+    }
+}
+
+TEST(Kernel, CycleModel)
+{
+    PipelinedLoop loop;
+    loop.ii = 4;
+    loop.stageCount = 3;
+    EXPECT_EQ(loop.rampCycles(), 8);
+    // (N + SC - 1) * II.
+    EXPECT_EQ(loop.cyclesFor(1), 12);
+    EXPECT_EQ(loop.cyclesFor(100), 408);
+    EXPECT_EQ(loop.cyclesFor(0), 0);
+}
+
+TEST(Perf, IpcCountsOnlyUsefulOps)
+{
+    // Build a schedule containing copies and verify they are not
+    // in the numerator.
+    Loop k = kernelStencil3(); // pre-pass inserts a copy
+    MachineModel m = MachineModel::clusteredRing(2);
+    Ddg body = k.ddg;
+    singleUsePrepass(body, m.latencyOf(Opcode::Copy));
+    ASSERT_GT(body.liveOpCount(), k.ddg.liveOpCount());
+    DmsOutcome out = scheduleDms(body, m);
+    ASSERT_TRUE(out.sched.ok);
+
+    LoopPerf perf = evaluatePerf(*out.ddg, *out.sched.schedule, 50);
+    EXPECT_EQ(perf.usefulOps, k.ddg.liveOpCount());
+    EXPECT_GT(perf.ipc, 0.0);
+    EXPECT_LE(perf.ipc, m.usefulFuCount());
+    EXPECT_EQ(perf.cycles,
+              (50 + perf.stageCount - 1) *
+                  static_cast<long>(perf.ii));
+}
+
+TEST(Perf, IpcApproachesWidthForParallelLoops)
+{
+    // color_convert: 21 independent useful ops; on a wide machine
+    // the steady state should sustain good IPC.
+    Loop k = kernelColorConvert();
+    MachineModel m = MachineModel::unclustered(7);
+    SchedOutcome out = scheduleIms(k.ddg, m);
+    ASSERT_TRUE(out.ok);
+    // Mul pressure binds: 9 muls on 7 units -> II 2, so the best
+    // possible useful IPC is 21/2 = 10.5.
+    LoopPerf perf = evaluatePerf(k.ddg, *out.schedule, 10000);
+    EXPECT_GT(perf.ipc, 10.0);
+    EXPECT_LE(perf.ipc, 10.5);
+}
+
+TEST(Emit, KernelShowsOpsAndStages)
+{
+    Loop k = kernelDaxpy();
+    MachineModel m = MachineModel::clusteredRing(2);
+    Ddg body = k.ddg;
+    singleUsePrepass(body, 1);
+    DmsOutcome out = scheduleDms(body, m);
+    ASSERT_TRUE(out.sched.ok);
+    PipelinedLoop loop =
+        buildPipelinedLoop(*out.ddg, *out.sched.schedule);
+    std::string txt = emitKernel(*out.ddg, m, loop);
+    EXPECT_NE(txt.find("kernel: II="), std::string::npos);
+    EXPECT_NE(txt.find("load"), std::string::npos);
+    EXPECT_NE(txt.find("c1:"), std::string::npos);
+}
+
+TEST(Emit, PipelinedCodeHasAllPhases)
+{
+    Loop k = kernelFir8();
+    MachineModel m = MachineModel::unclustered(2);
+    SchedOutcome out = scheduleIms(k.ddg, m);
+    ASSERT_TRUE(out.ok);
+    PipelinedLoop loop = buildPipelinedLoop(k.ddg, *out.schedule);
+    std::string txt = emitPipelinedCode(k.ddg, m, loop);
+    EXPECT_NE(txt.find("prologue:"), std::string::npos);
+    EXPECT_NE(txt.find("kernel (repeat):"), std::string::npos);
+    EXPECT_NE(txt.find("epilogue:"), std::string::npos);
+}
+
+TEST(Emit, PrologueRampsUpIterations)
+{
+    // In the prologue, iteration subscripts never exceed the
+    // current stage index.
+    Loop k = kernelFir8();
+    MachineModel m = MachineModel::unclustered(1);
+    SchedOutcome out = scheduleIms(k.ddg, m);
+    ASSERT_TRUE(out.ok);
+    PipelinedLoop loop = buildPipelinedLoop(k.ddg, *out.schedule);
+    std::string txt = emitPipelinedCode(k.ddg, m, loop);
+    // i0 must appear before any i1.
+    size_t first_i0 = txt.find("[i0]");
+    size_t first_i1 = txt.find("[i1]");
+    if (first_i1 != std::string::npos) {
+        ASSERT_NE(first_i0, std::string::npos);
+        EXPECT_LT(first_i0, first_i1);
+    }
+}
+
+} // namespace
+} // namespace dms

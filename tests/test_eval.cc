@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Evaluation harness: per-loop runs, the matrix, and figure
+ * generation on a reduced suite (integration-level).
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "eval/figures.h"
+#include "eval/runner.h"
+
+namespace dms {
+namespace {
+
+RunnerOptions
+quickOptions(int max_clusters)
+{
+    RunnerOptions opts;
+    opts.maxClusters = max_clusters;
+    opts.progress = false;
+    return opts;
+}
+
+TEST(Runner, UnclusteredLoopRun)
+{
+    Loop k = kernelDaxpy();
+    LoopRun run = runLoopUnclustered(k, 2, SchedParams{}, true);
+    ASSERT_TRUE(run.ok);
+    EXPECT_GE(run.ii, run.mii);
+    EXPECT_GE(run.unrollFactor, 1);
+    EXPECT_GT(run.cycles, 0);
+    EXPECT_GT(run.usefulIssues, 0);
+    EXPECT_EQ(run.movesInserted, 0);
+    EXPECT_EQ(run.copiesInserted, 0);
+}
+
+TEST(Runner, ClusteredLoopRun)
+{
+    Loop k = kernelFir8();
+    LoopRun run = runLoopClustered(k, 4, DmsParams{}, true);
+    ASSERT_TRUE(run.ok);
+    EXPECT_GE(run.ii, run.mii);
+    EXPECT_GT(run.cycles, 0);
+}
+
+TEST(Runner, IterationsAccountForUnrolling)
+{
+    Loop k = kernelDaxpy();
+    k.tripCount = 100;
+    LoopRun narrow = runLoopUnclustered(k, 1, SchedParams{}, true);
+    LoopRun wide = runLoopUnclustered(k, 8, SchedParams{}, true);
+    ASSERT_TRUE(narrow.ok && wide.ok);
+    EXPECT_EQ(narrow.iterations * narrow.unrollFactor >= 100, true);
+    EXPECT_EQ(wide.iterations * wide.unrollFactor >= 100, true);
+    EXPECT_LT(wide.cycles, narrow.cycles);
+}
+
+TEST(Runner, MatrixShape)
+{
+    auto suite = standardSuite(kSuiteSeed, 6);
+    auto matrix = runMatrix(suite, quickOptions(3));
+    ASSERT_EQ(matrix.size(), 3u);
+    for (size_t c = 0; c < matrix.size(); ++c) {
+        EXPECT_EQ(matrix[c].clusters, static_cast<int>(c) + 1);
+        EXPECT_EQ(matrix[c].unclustered.size(), suite.size());
+        EXPECT_EQ(matrix[c].clustered.size(), suite.size());
+    }
+}
+
+TEST(Runner, ClusteredNeverBeatsUnclusteredIi)
+{
+    // The unclustered machine is a relaxation of the clustered one
+    // (no comm constraints, no copies): its II is a lower bound.
+    auto suite = standardSuite(kSuiteSeed, 10);
+    auto matrix = runMatrix(suite, quickOptions(4));
+    for (const ConfigRun &cfg : matrix) {
+        for (size_t i = 0; i < suite.size(); ++i) {
+            ASSERT_TRUE(cfg.unclustered[i].ok);
+            ASSERT_TRUE(cfg.clustered[i].ok);
+            EXPECT_LE(cfg.unclustered[i].ii, cfg.clustered[i].ii)
+                << suite[i].name << " @ " << cfg.clusters;
+        }
+    }
+}
+
+TEST(Runner, EnvOverride)
+{
+    ::setenv("DMS_SUITE_COUNT", "77", 1);
+    EXPECT_EQ(suiteCountFromEnv(1258), 77);
+    ::unsetenv("DMS_SUITE_COUNT");
+    EXPECT_EQ(suiteCountFromEnv(1258), 1258);
+    ::setenv("DMS_SUITE_COUNT", "garbage", 1);
+    EXPECT_EQ(suiteCountFromEnv(1258), 1258);
+    ::unsetenv("DMS_SUITE_COUNT");
+}
+
+TEST(Figures, Figure4RowsAndBounds)
+{
+    auto suite = standardSuite(kSuiteSeed, 12);
+    auto matrix = runMatrix(suite, quickOptions(4));
+    Table t = figure4(suite, matrix);
+    std::string csv = t.csv();
+    // Header + one row per cluster count.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+    EXPECT_NE(csv.find("clusters"), std::string::npos);
+}
+
+TEST(Figures, Figure5NormalizesTo100)
+{
+    auto suite = standardSuite(kSuiteSeed, 12);
+    auto matrix = runMatrix(suite, quickOptions(3));
+    Table t = figure5(suite, matrix);
+    std::string csv = t.csv();
+    // First data row starts at FUs=3 with 100.00 for unclustered.
+    EXPECT_NE(csv.find("3,100.00"), std::string::npos);
+}
+
+TEST(Figures, Figure6IpcWithinMachineWidth)
+{
+    auto suite = standardSuite(kSuiteSeed, 12);
+    auto matrix = runMatrix(suite, quickOptions(3));
+    auto set1 = selectSet(suite, LoopSet::Set1);
+    for (const ConfigRun &cfg : matrix) {
+        double ipc = aggregateIpc(cfg.unclustered, set1);
+        EXPECT_GT(ipc, 0.0);
+        EXPECT_LE(ipc, cfg.clusters * 3.0);
+    }
+    Table t = figure6(suite, matrix);
+    EXPECT_FALSE(t.csv().empty());
+}
+
+TEST(Figures, CyclesMonotoneInMachineWidth)
+{
+    // More FUs never slow the unclustered machine down (same
+    // unrolled body or better).
+    auto suite = standardSuite(kSuiteSeed, 10);
+    auto matrix = runMatrix(suite, quickOptions(4));
+    auto set1 = selectSet(suite, LoopSet::Set1);
+    double prev = 0.0;
+    for (size_t c = 0; c < matrix.size(); ++c) {
+        double cyc = totalCycles(matrix[c].unclustered, set1);
+        if (c > 0) {
+            EXPECT_LE(cyc, prev * 1.02); // small slack for ceil()
+        }
+        prev = cyc;
+    }
+}
+
+} // namespace
+} // namespace dms

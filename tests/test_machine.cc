@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Machine model: presets, ring topology, and the modulo
+ * reservation table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.h"
+#include "machine/reservation.h"
+
+namespace dms {
+namespace {
+
+TEST(MachineModel, ClusteredPreset)
+{
+    MachineModel m = MachineModel::clusteredRing(4);
+    EXPECT_TRUE(m.clustered());
+    EXPECT_EQ(m.numClusters(), 4);
+    EXPECT_EQ(m.fusPerCluster(FuClass::LdSt), 1);
+    EXPECT_EQ(m.fusPerCluster(FuClass::Add), 1);
+    EXPECT_EQ(m.fusPerCluster(FuClass::Mul), 1);
+    EXPECT_EQ(m.fusPerCluster(FuClass::Copy), 1);
+    EXPECT_EQ(m.usefulFuCount(), 12);
+    EXPECT_EQ(m.totalFus(FuClass::Copy), 4);
+}
+
+TEST(MachineModel, UnclusteredPreset)
+{
+    MachineModel m = MachineModel::unclustered(5);
+    EXPECT_FALSE(m.clustered());
+    EXPECT_EQ(m.numClusters(), 1);
+    EXPECT_EQ(m.fusPerCluster(FuClass::LdSt), 5);
+    EXPECT_EQ(m.fusPerCluster(FuClass::Copy), 0);
+    EXPECT_EQ(m.usefulFuCount(), 15);
+}
+
+TEST(MachineModel, ExtraCopyUnits)
+{
+    MachineModel m = MachineModel::clusteredRing(3, 2);
+    EXPECT_EQ(m.fusPerCluster(FuClass::Copy), 2);
+    EXPECT_EQ(m.usefulFuCount(), 9); // copies are not useful FUs
+}
+
+TEST(Topology, RingDistance)
+{
+    MachineModel m = MachineModel::clusteredRing(6);
+    EXPECT_EQ(m.ringDistance(0, 0), 0);
+    EXPECT_EQ(m.ringDistance(0, 1), 1);
+    EXPECT_EQ(m.ringDistance(0, 5), 1);
+    EXPECT_EQ(m.ringDistance(0, 2), 2);
+    EXPECT_EQ(m.ringDistance(0, 3), 3);
+    EXPECT_EQ(m.ringDistance(1, 4), 3);
+    EXPECT_EQ(m.ringDistance(2, 5), 3);
+}
+
+TEST(Topology, SmallRingsAllAdjacent)
+{
+    // 2 and 3 cluster rings have no indirectly-connected pairs —
+    // the paper's observation that their only overhead is copies.
+    for (int c : {1, 2, 3}) {
+        MachineModel m = MachineModel::clusteredRing(c);
+        for (ClusterId a = 0; a < c; ++a) {
+            for (ClusterId b = 0; b < c; ++b)
+                EXPECT_TRUE(m.directlyConnected(a, b));
+        }
+    }
+    MachineModel m4 = MachineModel::clusteredRing(4);
+    EXPECT_FALSE(m4.directlyConnected(0, 2));
+}
+
+TEST(Topology, HopsAlongDirections)
+{
+    MachineModel m = MachineModel::clusteredRing(5);
+    EXPECT_EQ(m.hopsAlong(1, 3, +1), 2);
+    EXPECT_EQ(m.hopsAlong(1, 3, -1), 3);
+    EXPECT_EQ(m.hopsAlong(3, 1, +1), 3);
+    EXPECT_EQ(m.hopsAlong(3, 1, -1), 2);
+    EXPECT_EQ(m.hopsAlong(2, 2, +1), 0);
+}
+
+TEST(Topology, Neighbors)
+{
+    MachineModel m = MachineModel::clusteredRing(4);
+    EXPECT_EQ(m.neighbor(0, +1), 1);
+    EXPECT_EQ(m.neighbor(3, +1), 0);
+    EXPECT_EQ(m.neighbor(0, -1), 3);
+    EXPECT_EQ(m.neighbor(2, -1), 1);
+}
+
+TEST(Topology, PathBetweenExcludesEndpoints)
+{
+    MachineModel m = MachineModel::clusteredRing(6);
+    auto p = m.pathBetween(1, 4, +1); // 1 -> 2 -> 3 -> 4
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p[0], 2);
+    EXPECT_EQ(p[1], 3);
+
+    auto q = m.pathBetween(1, 4, -1); // 1 -> 0 -> 5 -> 4
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_EQ(q[0], 0);
+    EXPECT_EQ(q[1], 5);
+
+    EXPECT_TRUE(m.pathBetween(2, 3, +1).empty()); // adjacent
+    EXPECT_TRUE(m.pathBetween(2, 2, +1).empty()); // same
+}
+
+TEST(Topology, TheTwoChainOptionsOfFigure3)
+{
+    // Producer in cluster 0, consumer in cluster 3 of an 8-ring:
+    // option 1 goes through 1,2 (two moves); option 2 through
+    // 7,6,5,4 (four moves).
+    MachineModel m = MachineModel::clusteredRing(8);
+    EXPECT_EQ(m.pathBetween(0, 3, +1).size(), 2u);
+    EXPECT_EQ(m.pathBetween(0, 3, -1).size(), 4u);
+}
+
+TEST(Reservation, PlaceAndClear)
+{
+    MachineModel m = MachineModel::clusteredRing(2);
+    ReservationTable rt(m, 3);
+    EXPECT_EQ(rt.at(0, FuClass::Add, 0, 1), kInvalidOp);
+    EXPECT_TRUE(rt.hasFree(0, FuClass::Add, 1));
+    rt.place(7, 0, FuClass::Add, 0, 1);
+    EXPECT_EQ(rt.at(0, FuClass::Add, 0, 1), 7);
+    EXPECT_FALSE(rt.hasFree(0, FuClass::Add, 1));
+    EXPECT_TRUE(rt.hasFree(0, FuClass::Add, 0));
+    EXPECT_TRUE(rt.hasFree(1, FuClass::Add, 1));
+    rt.clear(7, 0, FuClass::Add, 0, 1);
+    EXPECT_TRUE(rt.hasFree(0, FuClass::Add, 1));
+}
+
+TEST(Reservation, FreeInstanceWithMultipleUnits)
+{
+    MachineModel m = MachineModel::clusteredRing(1, 3);
+    ReservationTable rt(m, 2);
+    EXPECT_EQ(rt.freeInstance(0, FuClass::Copy, 0), 0);
+    rt.place(1, 0, FuClass::Copy, 0, 0);
+    EXPECT_EQ(rt.freeInstance(0, FuClass::Copy, 0), 1);
+    rt.place(2, 0, FuClass::Copy, 1, 0);
+    EXPECT_EQ(rt.freeInstance(0, FuClass::Copy, 0), 2);
+    rt.place(3, 0, FuClass::Copy, 2, 0);
+    EXPECT_EQ(rt.freeInstance(0, FuClass::Copy, 0), -1);
+}
+
+TEST(Reservation, FreeSlotCountTracksPlacement)
+{
+    MachineModel m = MachineModel::clusteredRing(4);
+    ReservationTable rt(m, 5);
+    EXPECT_EQ(rt.freeSlotCount(2, FuClass::Copy), 5);
+    rt.place(9, 2, FuClass::Copy, 0, 3);
+    EXPECT_EQ(rt.freeSlotCount(2, FuClass::Copy), 4);
+    EXPECT_EQ(rt.freeSlotCount(1, FuClass::Copy), 5);
+}
+
+TEST(Reservation, Occupants)
+{
+    MachineModel m = MachineModel::unclustered(2);
+    ReservationTable rt(m, 2);
+    rt.place(4, 0, FuClass::Mul, 0, 1);
+    rt.place(5, 0, FuClass::Mul, 1, 1);
+    auto occ = rt.occupants(0, FuClass::Mul, 1);
+    ASSERT_EQ(occ.size(), 2u);
+    EXPECT_EQ(occ[0], 4);
+    EXPECT_EQ(occ[1], 5);
+    EXPECT_TRUE(rt.occupants(0, FuClass::Mul, 0).empty());
+}
+
+TEST(MachineModel, Describe)
+{
+    EXPECT_NE(MachineModel::clusteredRing(4).describe().find(
+                  "4-cluster"),
+              std::string::npos);
+    EXPECT_NE(MachineModel::unclustered(4).describe().find(
+                  "unclustered"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace dms

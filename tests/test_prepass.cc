@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Single-use lifetime pre-pass: fan-out bound, copy counts,
+ * semantics preservation, and interaction with distances.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/prepass.h"
+#include "ir/scc.h"
+#include "ir/verify.h"
+#include "sim/reference.h"
+#include "workload/kernels.h"
+
+namespace dms {
+namespace {
+
+Ddg
+fanoutGraph(int consumers)
+{
+    LoopBuilder b;
+    OpId x = b.load(0);
+    for (int i = 0; i < consumers; ++i)
+        b.store(1 + i, x);
+    return b.take();
+}
+
+TEST(Prepass, FanoutTwoUntouched)
+{
+    Ddg g = fanoutGraph(2);
+    PrepassStats st = singleUsePrepass(g, 1);
+    EXPECT_EQ(st.copiesInserted, 0);
+    EXPECT_EQ(st.opsRewritten, 0);
+}
+
+TEST(Prepass, FanoutThreeNeedsOneCopy)
+{
+    Ddg g = fanoutGraph(3);
+    PrepassStats st = singleUsePrepass(g, 1);
+    EXPECT_EQ(st.copiesInserted, 1);
+    EXPECT_EQ(st.opsRewritten, 1);
+    DdgVerifyOptions opts;
+    opts.maxFlowFanout = 2;
+    EXPECT_TRUE(verifyDdg(g, opts).empty());
+}
+
+TEST(Prepass, LargeFanoutChains)
+{
+    for (int k = 3; k <= 9; ++k) {
+        Ddg g = fanoutGraph(k);
+        PrepassStats st = singleUsePrepass(g, 1);
+        EXPECT_EQ(st.copiesInserted, k - 2) << "fanout " << k;
+        DdgVerifyOptions opts;
+        opts.maxFlowFanout = 2;
+        EXPECT_TRUE(verifyDdg(g, opts).empty()) << "fanout " << k;
+    }
+}
+
+TEST(Prepass, BoundsEveryKernel)
+{
+    for (Loop k : namedKernels()) {
+        singleUsePrepass(k.ddg, 1);
+        DdgVerifyOptions opts;
+        opts.maxFlowFanout = 2;
+        EXPECT_TRUE(verifyDdg(k.ddg, opts).empty()) << k.name;
+    }
+}
+
+TEST(Prepass, PreservesSemantics)
+{
+    for (Loop k : namedKernels()) {
+        StoreLog before = referenceExecute(k.ddg, 20);
+        singleUsePrepass(k.ddg, 1);
+        StoreLog after = referenceExecute(k.ddg, 20);
+        auto problems = compareStoreLogs(before, after);
+        EXPECT_TRUE(problems.empty())
+            << k.name << ": "
+            << (problems.empty() ? "" : problems[0]);
+    }
+}
+
+TEST(Prepass, PreservesSemanticsAcrossDistances)
+{
+    // stencil3: one load consumed at distances 0, 1 and 2.
+    Loop k = kernelStencil3();
+    StoreLog before = referenceExecute(k.ddg, 30);
+    PrepassStats st = singleUsePrepass(k.ddg, 1);
+    EXPECT_EQ(st.copiesInserted, 1);
+    StoreLog after = referenceExecute(k.ddg, 30);
+    EXPECT_TRUE(compareStoreLogs(before, after).empty());
+}
+
+TEST(Prepass, TightestConsumerStaysOnProducer)
+{
+    // Consumers at distances 2, 0, 1: the distance-0 use must stay
+    // directly attached to the producer after rewriting.
+    Ddg h;
+    OpId ld = h.addOp(Opcode::Load);
+    h.op(ld).memStream = 0;
+    OpId u0 = h.addOp(Opcode::Store);
+    h.op(u0).memStream = 1;
+    OpId u1 = h.addOp(Opcode::Store);
+    h.op(u1).memStream = 2;
+    OpId u2 = h.addOp(Opcode::Store);
+    h.op(u2).memStream = 3;
+    h.addEdge(ld, u2, DepKind::Flow, 2, 2, 0);
+    h.addEdge(ld, u0, DepKind::Flow, 0, 2, 0);
+    h.addEdge(ld, u1, DepKind::Flow, 1, 2, 0);
+    singleUsePrepass(h, 1);
+
+    // The edge still leaving ld toward a store must be distance 0.
+    int direct_stores = 0;
+    for (EdgeId e : h.op(ld).outs) {
+        const Edge &ed = h.edge(e);
+        if (!h.edgeLive(e))
+            continue;
+        if (h.op(ed.dst).opc == Opcode::Store) {
+            EXPECT_EQ(ed.distance, 0);
+            ++direct_stores;
+        }
+    }
+    EXPECT_EQ(direct_stores, 1);
+}
+
+TEST(Prepass, CopyOnRecurrencePathRaisesRecMii)
+{
+    // An accumulator consumed by itself plus 3 stores: the copy
+    // chain can lengthen non-recurrence paths, but the self-edge
+    // must stay direct (distance sorting puts the d=1 self use
+    // second, still within the producer's two slots).
+    LoopBuilder b;
+    OpId x = b.load(0);
+    OpId acc = b.add1(x);
+    b.flow(acc, acc, 1, 1);
+    b.store(1, acc);
+    b.store(2, acc);
+    b.store(3, acc);
+    Ddg g = b.take();
+    int rec_before = 0;
+    {
+        rec_before = hasRecurrence(g) ? 1 : 0;
+        EXPECT_EQ(rec_before, 1);
+    }
+    StoreLog before = referenceExecute(g, 16);
+    singleUsePrepass(g, 1);
+    EXPECT_TRUE(hasRecurrence(g));
+    StoreLog after = referenceExecute(g, 16);
+    EXPECT_TRUE(compareStoreLogs(before, after).empty());
+}
+
+TEST(Prepass, CopiesCarryProducerIdentity)
+{
+    Ddg g = fanoutGraph(5);
+    singleUsePrepass(g, 1);
+    for (OpId id = 0; id < g.numOps(); ++id) {
+        if (g.opLive(id) && g.op(id).origin == OpOrigin::CopyOp) {
+            EXPECT_EQ(g.op(id).origId, 0); // the load
+        }
+    }
+}
+
+TEST(Prepass, HigherFanoutLimitInsertsFewerCopies)
+{
+    Ddg g3 = fanoutGraph(7);
+    Ddg g4 = fanoutGraph(7);
+    PrepassStats s2 = singleUsePrepass(g3, 1, 2);
+    PrepassStats s4 = singleUsePrepass(g4, 1, 4);
+    EXPECT_GT(s2.copiesInserted, s4.copiesInserted);
+}
+
+} // namespace
+} // namespace dms

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Queue sharing: pairwise FIFO compatibility, depth accounting,
+ * and end-to-end reductions on real schedules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dms.h"
+#include "ir/prepass.h"
+#include "regalloc/sharing.h"
+#include "sched/ims.h"
+#include "workload/kernels.h"
+#include "workload/synth.h"
+
+namespace dms {
+namespace {
+
+/** Two independent load->store lifetimes in one cluster. */
+struct Fixture
+{
+    Fixture()
+    {
+        LoopBuilder b;
+        ld0 = b.load(0);
+        st0 = b.store(2, ld0);
+        ld1 = b.load(1);
+        st1 = b.store(3, ld1);
+        ddg = b.take();
+    }
+
+    Ddg ddg;
+    OpId ld0, st0, ld1, st1;
+};
+
+TEST(Sharing, CompatibleWhenOrderConsistent)
+{
+    Fixture f;
+    MachineModel m = MachineModel::unclustered(2);
+    // II=4: ld0@0 (ready 2) used @4; ld1@1 (ready 3) used @6.
+    // Enter order 2,3; exit order 4,6 - consistent.
+    PartialSchedule ps(f.ddg, m, 4);
+    ASSERT_TRUE(ps.tryPlace(f.ld0, 0, 0));
+    ASSERT_TRUE(ps.tryPlace(f.st0, 4, 0));
+    ASSERT_TRUE(ps.tryPlace(f.ld1, 1, 0));
+    ASSERT_TRUE(ps.tryPlace(f.st1, 6, 0));
+
+    QueueAllocation qa = allocateQueues(f.ddg, m, ps);
+    ASSERT_EQ(qa.lifetimes.size(), 2u);
+    EXPECT_TRUE(canShareQueue(qa.lifetimes[0], qa.lifetimes[1], 4,
+                              f.ddg, ps));
+
+    SharedAllocation sa = shareQueues(qa, f.ddg, ps);
+    EXPECT_EQ(sa.queuesBefore, 2);
+    EXPECT_EQ(sa.queuesAfter, 1);
+    EXPECT_GT(sa.reduction(), 0.4);
+}
+
+TEST(Sharing, IncompatibleWhenOvertaking)
+{
+    Fixture f;
+    MachineModel m = MachineModel::unclustered(2);
+    // II=4: ld0 ready @2 used @9; ld1 ready @3 used @6:
+    // enters 2 then 3, exits 9 after 6 -> ld1 overtakes ld0.
+    PartialSchedule ps(f.ddg, m, 4);
+    ASSERT_TRUE(ps.tryPlace(f.ld0, 0, 0));
+    ASSERT_TRUE(ps.tryPlace(f.st0, 9, 0));
+    ASSERT_TRUE(ps.tryPlace(f.ld1, 1, 0));
+    ASSERT_TRUE(ps.tryPlace(f.st1, 6, 0));
+
+    QueueAllocation qa = allocateQueues(f.ddg, m, ps);
+    EXPECT_FALSE(canShareQueue(qa.lifetimes[0], qa.lifetimes[1], 4,
+                               f.ddg, ps));
+    SharedAllocation sa = shareQueues(qa, f.ddg, ps);
+    EXPECT_EQ(sa.queuesAfter, 2);
+}
+
+TEST(Sharing, PortConflictsBlockSharing)
+{
+    Fixture f;
+    MachineModel m = MachineModel::unclustered(2);
+    // Same ready cycle mod II (both loads at row 0 impossible on
+    // one L/S unit; use two cycles II apart -> same phase).
+    PartialSchedule ps(f.ddg, m, 2);
+    ASSERT_TRUE(ps.tryPlace(f.ld0, 0, 0));
+    ASSERT_TRUE(ps.tryPlace(f.st0, 3, 0));
+    ASSERT_TRUE(ps.tryPlace(f.ld1, 2, 0)); // ready 4 = 2 + II
+    ASSERT_TRUE(ps.tryPlace(f.st1, 5, 0));
+
+    QueueAllocation qa = allocateQueues(f.ddg, m, ps);
+    // Enter phases differ by exactly II -> write-port conflict.
+    EXPECT_FALSE(canShareQueue(qa.lifetimes[0], qa.lifetimes[1], 2,
+                               f.ddg, ps));
+}
+
+TEST(Sharing, DifferentFilesNeverShare)
+{
+    Fixture f;
+    MachineModel m = MachineModel::clusteredRing(2);
+    PartialSchedule ps(f.ddg, m, 4);
+    ASSERT_TRUE(ps.tryPlace(f.ld0, 0, 0));
+    ASSERT_TRUE(ps.tryPlace(f.st0, 5, 0)); // LRF cluster 0
+    ASSERT_TRUE(ps.tryPlace(f.ld1, 1, 1));
+    ASSERT_TRUE(ps.tryPlace(f.st1, 6, 1)); // LRF cluster 1
+    QueueAllocation qa = allocateQueues(f.ddg, m, ps);
+    EXPECT_FALSE(canShareQueue(qa.lifetimes[0], qa.lifetimes[1], 4,
+                               f.ddg, ps));
+}
+
+TEST(Sharing, DepthCoversAllMembers)
+{
+    Fixture f;
+    MachineModel m = MachineModel::unclustered(2);
+    PartialSchedule ps(f.ddg, m, 4);
+    ASSERT_TRUE(ps.tryPlace(f.ld0, 0, 0));
+    ASSERT_TRUE(ps.tryPlace(f.st0, 4, 0));
+    ASSERT_TRUE(ps.tryPlace(f.ld1, 1, 0));
+    ASSERT_TRUE(ps.tryPlace(f.st1, 6, 0));
+    QueueAllocation qa = allocateQueues(f.ddg, m, ps);
+    SharedAllocation sa = shareQueues(qa, f.ddg, ps);
+    ASSERT_EQ(sa.queues.size(), 1u);
+    // Spans: 2 and 3 at II=4 -> each depth 1; overlap [3,4) holds
+    // both values at once.
+    EXPECT_EQ(sa.queues[0].depth, 2);
+}
+
+TEST(Sharing, NeverMergesIncompatiblePairsOnRealSchedules)
+{
+    for (const Loop &k : namedKernels()) {
+        MachineModel m = MachineModel::clusteredRing(4);
+        Ddg body = k.ddg;
+        singleUsePrepass(body, m.latencyOf(Opcode::Copy));
+        DmsOutcome out = scheduleDms(body, m);
+        ASSERT_TRUE(out.sched.ok) << k.name;
+        QueueAllocation qa =
+            allocateQueues(*out.ddg, m, *out.sched.schedule);
+        SharedAllocation sa =
+            shareQueues(qa, *out.ddg, *out.sched.schedule);
+
+        EXPECT_LE(sa.queuesAfter, sa.queuesBefore) << k.name;
+        for (const SharedQueue &q : sa.queues) {
+            EXPECT_GE(q.depth, 1) << k.name;
+            for (size_t i = 0; i < q.members.size(); ++i) {
+                for (size_t j = i + 1; j < q.members.size(); ++j) {
+                    EXPECT_TRUE(canShareQueue(
+                        qa.lifetimes[static_cast<size_t>(
+                            q.members[i])],
+                        qa.lifetimes[static_cast<size_t>(
+                            q.members[j])],
+                        out.sched.ii, *out.ddg,
+                        *out.sched.schedule))
+                        << k.name;
+                }
+            }
+        }
+    }
+}
+
+TEST(Sharing, ReducesQueuesSomewhere)
+{
+    // Across a synthetic sample, sharing must find at least some
+    // opportunities (deep pipelines have many short lifetimes).
+    int reduced = 0;
+    for (const Loop &k : synthesizeSuite(321, 20)) {
+        MachineModel m = MachineModel::unclustered(2);
+        SchedOutcome out = scheduleIms(k.ddg, m);
+        ASSERT_TRUE(out.ok);
+        QueueAllocation qa =
+            allocateQueues(k.ddg, m, *out.schedule);
+        SharedAllocation sa =
+            shareQueues(qa, k.ddg, *out.schedule);
+        reduced += sa.queuesAfter < sa.queuesBefore;
+    }
+    EXPECT_GT(reduced, 5);
+}
+
+TEST(Sharing, SharedDepthNeverBelowMaxMemberDepth)
+{
+    Loop k = kernelFir8();
+    MachineModel m = MachineModel::clusteredRing(2);
+    Ddg body = k.ddg;
+    singleUsePrepass(body, 1);
+    DmsOutcome out = scheduleDms(body, m);
+    ASSERT_TRUE(out.sched.ok);
+    QueueAllocation qa =
+        allocateQueues(*out.ddg, m, *out.sched.schedule);
+    SharedAllocation sa =
+        shareQueues(qa, *out.ddg, *out.sched.schedule);
+    for (const SharedQueue &q : sa.queues) {
+        int max_member = 0;
+        for (int mem : q.members) {
+            max_member = std::max(
+                max_member,
+                qa.lifetimes[static_cast<size_t>(mem)].depth);
+        }
+        EXPECT_GE(q.depth, max_member);
+    }
+}
+
+} // namespace
+} // namespace dms

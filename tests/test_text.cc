@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Textual DDG serialization: round trips, error handling, and
+ * semantic equivalence of parsed loops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/reference.h"
+#include "workload/synth.h"
+#include "workload/text.h"
+
+namespace dms {
+namespace {
+
+TEST(Text, SerializeMentionsEverything)
+{
+    Loop k = kernelDotProduct();
+    std::string txt = loopToText(k);
+    EXPECT_NE(txt.find("loop dot_product trip 500"),
+              std::string::npos);
+    EXPECT_NE(txt.find("op 2 mul"), std::string::npos);
+    EXPECT_NE(txt.find("dist=1"), std::string::npos);
+    EXPECT_NE(txt.find("slot=1"), std::string::npos);
+}
+
+TEST(Text, RoundTripAllKernels)
+{
+    for (const Loop &k : namedKernels()) {
+        Loop back = loopFromText(loopToText(k));
+        EXPECT_EQ(back.name, k.name);
+        EXPECT_EQ(back.tripCount, k.tripCount);
+        EXPECT_EQ(back.ddg.liveOpCount(), k.ddg.liveOpCount());
+        EXPECT_EQ(back.recurrence, k.recurrence);
+        // Semantics: identical store logs.
+        auto problems = compareStoreLogs(
+            referenceExecute(k.ddg, 12),
+            referenceExecute(back.ddg, 12));
+        EXPECT_TRUE(problems.empty())
+            << k.name << ": "
+            << (problems.empty() ? "" : problems[0]);
+    }
+}
+
+TEST(Text, RoundTripSyntheticLoops)
+{
+    for (const Loop &k : synthesizeSuite(99, 25)) {
+        Loop back = loopFromText(loopToText(k));
+        EXPECT_EQ(back.ddg.liveOpCount(), k.ddg.liveOpCount());
+        auto problems = compareStoreLogs(
+            referenceExecute(k.ddg, 8),
+            referenceExecute(back.ddg, 8));
+        EXPECT_TRUE(problems.empty()) << k.name;
+    }
+}
+
+TEST(Text, ParsesCommentsAndBlanks)
+{
+    Loop l = loopFromText("# header\n\nloop t trip 7\n"
+                          "op 0 load stream=3 offset=2\n"
+                          "# mid comment\n"
+                          "op 1 store stream=4\n"
+                          "edge 0 1 flow dist=0 slot=0\n");
+    EXPECT_EQ(l.name, "t");
+    EXPECT_EQ(l.tripCount, 7);
+    EXPECT_EQ(l.ddg.op(0).memStream, 3);
+    EXPECT_EQ(l.ddg.op(0).memOffset, 2);
+    EXPECT_FALSE(l.recurrence);
+}
+
+TEST(Text, ParsesConstLiteral)
+{
+    Loop l = loopFromText("loop c trip 1\n"
+                          "op 0 const lit=42\n"
+                          "op 1 store stream=0\n"
+                          "edge 0 1 flow dist=0 slot=0\n");
+    EXPECT_EQ(l.ddg.op(0).literal, 42);
+}
+
+TEST(Text, NonFlowEdgesTakeExplicitLatency)
+{
+    Loop l = loopFromText("loop m trip 1\n"
+                          "op 0 load stream=0\n"
+                          "op 1 store stream=0\n"
+                          "edge 0 1 flow dist=0 slot=0\n"
+                          "edge 1 0 memory dist=1 lat=3\n");
+    bool found = false;
+    for (EdgeId e = 0; e < l.ddg.numEdges(); ++e) {
+        if (l.ddg.edge(e).kind == DepKind::Memory) {
+            EXPECT_EQ(l.ddg.edge(e).latency, 3);
+            EXPECT_EQ(l.ddg.edge(e).distance, 1);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Text, FlowLatencyComesFromModel)
+{
+    LatencyModel lat;
+    lat.set(Opcode::Load, 9);
+    Loop l = loopFromText("loop x trip 1\n"
+                          "op 0 load stream=0\n"
+                          "op 1 store stream=1\n"
+                          "edge 0 1 flow dist=0 slot=0\n",
+                          lat);
+    EXPECT_EQ(l.ddg.edge(0).latency, 9);
+}
+
+using TextDeath = ::testing::Test;
+
+TEST(TextDeath, RejectsUnknownOpcode)
+{
+    EXPECT_EXIT(loopFromText("op 0 frobnicate\n"),
+                ::testing::ExitedWithCode(1), "unknown opcode");
+}
+
+TEST(TextDeath, RejectsUnknownDirective)
+{
+    EXPECT_EXIT(loopFromText("banana 1 2\n"),
+                ::testing::ExitedWithCode(1), "unknown directive");
+}
+
+TEST(TextDeath, RejectsDanglingEdge)
+{
+    EXPECT_EXIT(loopFromText("op 0 load\nedge 0 5 flow slot=0\n"),
+                ::testing::ExitedWithCode(1), "unknown op");
+}
+
+TEST(TextDeath, RejectsDuplicateOpId)
+{
+    EXPECT_EXIT(loopFromText("op 0 load\nop 0 load\n"),
+                ::testing::ExitedWithCode(1), "duplicate");
+}
+
+TEST(TextDeath, RejectsZeroDistanceCycle)
+{
+    EXPECT_EXIT(loopFromText("loop z trip 1\n"
+                             "op 0 add\nop 1 add\n"
+                             "edge 0 1 flow dist=0 slot=0\n"
+                             "edge 1 0 flow dist=0 slot=0\n"),
+                ::testing::ExitedWithCode(1), "invalid loop");
+}
+
+} // namespace
+} // namespace dms
