@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "eval/figures.h"
+#include "eval/report.h"
 
 int
 main()
@@ -26,7 +27,7 @@ main()
     std::vector<Loop> suite = standardSuite(kSuiteSeed, count);
     RunnerOptions opts;
     opts.maxClusters = 10;
-    auto matrix = runMatrix(suite, opts);
+    auto matrix = runMatrixReported("fig4", suite, opts);
 
     figure4(suite, matrix).print();
 

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "eval/figures.h"
+#include "eval/report.h"
 
 int
 main()
@@ -26,7 +27,7 @@ main()
 
     RunnerOptions opts;
     opts.maxClusters = 10;
-    auto matrix = runMatrix(suite, opts);
+    auto matrix = runMatrixReported("fig5", suite, opts);
 
     figure5(suite, matrix).print();
     return 0;

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "eval/figures.h"
+#include "eval/report.h"
 
 int
 main()
@@ -22,7 +23,7 @@ main()
     std::vector<Loop> suite = standardSuite(kSuiteSeed, count);
     RunnerOptions opts;
     opts.maxClusters = 10;
-    auto matrix = runMatrix(suite, opts);
+    auto matrix = runMatrixReported("fig6", suite, opts);
 
     figure6(suite, matrix).print();
     return 0;

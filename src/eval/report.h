@@ -1,0 +1,65 @@
+#ifndef DMS_EVAL_REPORT_H
+#define DMS_EVAL_REPORT_H
+
+/**
+ * @file
+ * Machine-readable results for the bench binaries: one JSON
+ * document per bench (suite size, wall time, per-configuration
+ * aggregate cycles and IPC for both machines and both loop sets),
+ * in the HPCC-FPGA spirit of emitting data a harness can track
+ * across runs instead of only human-readable tables.
+ */
+
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+
+namespace dms {
+
+/** Everything one bench run wants to persist. */
+struct MatrixReport
+{
+    std::string bench;      ///< e.g. "fig5_cycles"
+    size_t suiteSize = 0;   ///< loops in the suite
+    int jobs = 1;           ///< worker threads used
+    double wallSeconds = 0; ///< runMatrix wall-clock
+
+    /**
+     * Optional extra JSON members (without surrounding braces or a
+     * leading comma, e.g. "\"speedup\":3.1"), appended to the
+     * top-level object.
+     */
+    std::string extra;
+};
+
+/**
+ * Serialize @p matrix (plus run metadata) as a JSON object with one
+ * entry per cluster count: aggregate cycles and useful IPC for
+ * IMS/DMS on set 1 (all loops) and set 2 (no recurrences).
+ */
+std::string matrixReportJson(const MatrixReport &meta,
+                             const std::vector<Loop> &suite,
+                             const std::vector<ConfigRun> &matrix);
+
+/**
+ * Write matrixReportJson() to @p path (e.g. "BENCH_fig5.json").
+ * Returns false (with a warning) when the file cannot be written.
+ */
+bool writeMatrixReport(const std::string &path,
+                       const MatrixReport &meta,
+                       const std::vector<Loop> &suite,
+                       const std::vector<ConfigRun> &matrix);
+
+/**
+ * Convenience wrapper for the figure benches: runMatrix() under a
+ * wall-clock timer, then writeMatrixReport() to
+ * "BENCH_<bench>.json". Returns the matrix.
+ */
+std::vector<ConfigRun> runMatrixReported(
+    const std::string &bench, const std::vector<Loop> &suite,
+    const RunnerOptions &opts = {});
+
+} // namespace dms
+
+#endif // DMS_EVAL_REPORT_H

@@ -1,10 +1,14 @@
 #include "eval/runner.h"
 
+#include <atomic>
 #include <cstdlib>
+#include <memory>
 
 #include "ir/prepass.h"
 #include "sched/verifier.h"
 #include "support/diag.h"
+#include "support/strings.h"
+#include "support/thread_pool.h"
 #include "workload/unroll_policy.h"
 
 namespace dms {
@@ -85,24 +89,53 @@ runLoopClustered(const Loop &loop, int clusters,
 std::vector<ConfigRun>
 runMatrix(const std::vector<Loop> &suite, const RunnerOptions &opts)
 {
-    std::vector<ConfigRun> matrix;
-    for (int c = 1; c <= opts.maxClusters; ++c) {
-        ConfigRun cfg;
-        cfg.clusters = c;
-        cfg.unclustered.reserve(suite.size());
-        cfg.clustered.reserve(suite.size());
-        for (const Loop &loop : suite) {
-            cfg.unclustered.push_back(runLoopUnclustered(
-                loop, c, opts.ims, opts.verify));
-            cfg.clustered.push_back(runLoopClustered(
-                loop, c, opts.dms, opts.verify));
-        }
-        if (opts.progress) {
-            inform("runMatrix: %d cluster(s) done (%zu loops)", c,
-                   suite.size());
-        }
-        matrix.push_back(std::move(cfg));
+    const size_t loops = suite.size();
+    const size_t configs =
+        static_cast<size_t>(std::max(opts.maxClusters, 0));
+
+    // Pre-size every slot so each cell owns its destination and the
+    // result is ordered identically no matter how cells interleave.
+    std::vector<ConfigRun> matrix(configs);
+    for (size_t ci = 0; ci < configs; ++ci) {
+        matrix[ci].clusters = static_cast<int>(ci) + 1;
+        matrix[ci].unclustered.resize(loops);
+        matrix[ci].clustered.resize(loops);
     }
+    if (configs == 0 || loops == 0)
+        return matrix;
+
+    // Per-config countdown for thread-safe progress: a config line
+    // prints exactly when its last cell (of 2 * loops) retires.
+    std::unique_ptr<std::atomic<size_t>[]> remaining;
+    if (opts.progress) {
+        remaining.reset(new std::atomic<size_t>[configs]);
+        for (size_t ci = 0; ci < configs; ++ci)
+            remaining[ci].store(2 * loops);
+    }
+
+    // Cell index space: (config, loop, machine), machine-major last
+    // so the two runs of one loop land near each other in time.
+    const size_t cells = configs * loops * 2;
+    ThreadPool pool(opts.jobs);
+    pool.parallelFor(cells, [&](size_t cell) {
+        const size_t ci = cell / (loops * 2);
+        const size_t rest = cell % (loops * 2);
+        const size_t li = rest / 2;
+        const bool clustered = (rest % 2) != 0;
+        const int c = static_cast<int>(ci) + 1;
+        if (clustered) {
+            matrix[ci].clustered[li] = runLoopClustered(
+                suite[li], c, opts.dms, opts.verify);
+        } else {
+            matrix[ci].unclustered[li] = runLoopUnclustered(
+                suite[li], c, opts.ims, opts.verify);
+        }
+        if (opts.progress &&
+            remaining[ci].fetch_sub(1) == 1) {
+            inform("runMatrix: %d cluster(s) done (%zu loops, "
+                   "%d jobs)", c, loops, pool.jobs());
+        }
+    });
     return matrix;
 }
 
@@ -112,8 +145,13 @@ suiteCountFromEnv(int fallback)
     const char *s = std::getenv("DMS_SUITE_COUNT");
     if (s == nullptr)
         return fallback;
-    int v = std::atoi(s);
-    return v > 0 ? v : fallback;
+    int v = 0;
+    if (!parseInt(s, v) || v <= 0) {
+        warn("DMS_SUITE_COUNT='%s' is not a positive integer; "
+             "using %d", s, fallback);
+        return fallback;
+    }
+    return v;
 }
 
 } // namespace dms

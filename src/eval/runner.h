@@ -37,6 +37,25 @@ struct LoopRun
     long usefulIssues = 0;
 };
 
+/** Field-wise equality; used by determinism checks (jobs=1 vs N). */
+inline bool
+operator==(const LoopRun &a, const LoopRun &b)
+{
+    return a.ok == b.ok && a.ii == b.ii && a.mii == b.mii &&
+           a.stageCount == b.stageCount &&
+           a.unrollFactor == b.unrollFactor &&
+           a.movesInserted == b.movesInserted &&
+           a.copiesInserted == b.copiesInserted &&
+           a.iterations == b.iterations && a.cycles == b.cycles &&
+           a.usefulIssues == b.usefulIssues;
+}
+
+inline bool
+operator!=(const LoopRun &a, const LoopRun &b)
+{
+    return !(a == b);
+}
+
 /** Suite results for one cluster count. */
 struct ConfigRun
 {
@@ -44,6 +63,20 @@ struct ConfigRun
     std::vector<LoopRun> unclustered; ///< IMS, equal width
     std::vector<LoopRun> clustered;   ///< DMS
 };
+
+inline bool
+operator==(const ConfigRun &a, const ConfigRun &b)
+{
+    return a.clusters == b.clusters &&
+           a.unclustered == b.unclustered &&
+           a.clustered == b.clustered;
+}
+
+inline bool
+operator!=(const ConfigRun &a, const ConfigRun &b)
+{
+    return !(a == b);
+}
 
 /** Runner switches. */
 struct RunnerOptions
@@ -57,6 +90,16 @@ struct RunnerOptions
 
     /** Progress lines on stderr. */
     bool progress = true;
+
+    /**
+     * Worker threads for the matrix: each (loop, cluster-count,
+     * machine) cell is an independent scheduling problem, so the
+     * matrix parallelizes cell-wise with results written to
+     * pre-sized slots — output is deterministic and identical to
+     * the serial order regardless of jobs. 0 means "DMS_JOBS env
+     * var, else hardware concurrency"; 1 forces the serial path.
+     */
+    int jobs = 0;
 };
 
 /** Schedule one loop with IMS on the unclustered width-C machine. */
@@ -78,7 +121,9 @@ std::vector<ConfigRun> runMatrix(const std::vector<Loop> &suite,
 
 /**
  * Suite size override for quick runs: reads the DMS_SUITE_COUNT
- * environment variable (defaults to @p fallback).
+ * environment variable (defaults to @p fallback). Values that are
+ * not a positive integer — garbage, trailing junk like "12x", or
+ * numbers that overflow int — are rejected with a warning.
  */
 int suiteCountFromEnv(int fallback = 1258);
 

@@ -1,6 +1,8 @@
 #include "support/strings.h"
 
 #include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 
 namespace dms {
@@ -53,9 +55,12 @@ parseInt(std::string_view s, int &out)
     if (t.empty())
         return false;
     char *end = nullptr;
+    errno = 0;
     long v = std::strtol(t.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || v < 0)
-        return false;
+    if (end == nullptr || end == t.c_str() || *end != '\0')
+        return false; // empty digits or trailing garbage ("12x")
+    if (errno == ERANGE || v < 0 || v > INT_MAX)
+        return false; // out of int range
     out = static_cast<int>(v);
     return true;
 }

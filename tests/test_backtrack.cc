@@ -36,8 +36,9 @@ expectFullyLegal(const DmsOutcome &out, const MachineModel &m,
     for (OpId id = 0; id < out.ddg->numOps(); ++id) {
         if (!out.ddg->opLive(id))
             continue;
-        if (out.ddg->op(id).origin == OpOrigin::MoveOp)
+        if (out.ddg->op(id).origin == OpOrigin::MoveOp) {
             EXPECT_TRUE(out.sched.schedule->isScheduled(id)) << what;
+        }
     }
     // Replaced edges and their chains are consistent (structural
     // verify on the transformed graph).

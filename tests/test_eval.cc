@@ -96,6 +96,63 @@ TEST(Runner, EnvOverride)
     ::unsetenv("DMS_SUITE_COUNT");
 }
 
+TEST(Runner, EnvOverrideRejectsTrailingGarbageAndOverflow)
+{
+    // "12x" must not silently become 12 (the old atoi behavior).
+    ::setenv("DMS_SUITE_COUNT", "12x", 1);
+    EXPECT_EQ(suiteCountFromEnv(1258), 1258);
+    ::setenv("DMS_SUITE_COUNT", "99999999999999999999", 1);
+    EXPECT_EQ(suiteCountFromEnv(1258), 1258);
+    ::setenv("DMS_SUITE_COUNT", "5000000000", 1); // > INT_MAX
+    EXPECT_EQ(suiteCountFromEnv(1258), 1258);
+    ::setenv("DMS_SUITE_COUNT", "-5", 1);
+    EXPECT_EQ(suiteCountFromEnv(1258), 1258);
+    ::setenv("DMS_SUITE_COUNT", "0", 1);
+    EXPECT_EQ(suiteCountFromEnv(1258), 1258);
+    ::setenv("DMS_SUITE_COUNT", " 42 ", 1); // whitespace is fine
+    EXPECT_EQ(suiteCountFromEnv(1258), 42);
+    ::unsetenv("DMS_SUITE_COUNT");
+}
+
+TEST(Runner, MatrixDeterministicAcrossJobCounts)
+{
+    // Same seed + same suite => identical ConfigRun results at
+    // jobs=1 and jobs=N: every cell is an independent deterministic
+    // scheduling problem writing its own pre-sized slot.
+    auto suite = standardSuite(kSuiteSeed, 8);
+    RunnerOptions serial = quickOptions(3);
+    serial.jobs = 1;
+    auto base = runMatrix(suite, serial);
+    for (int jobs : {2, 4, 8}) {
+        RunnerOptions par = quickOptions(3);
+        par.jobs = jobs;
+        auto m = runMatrix(suite, par);
+        ASSERT_EQ(m.size(), base.size()) << "jobs=" << jobs;
+        for (size_t c = 0; c < m.size(); ++c)
+            EXPECT_EQ(m[c], base[c])
+                << "config " << c << " jobs=" << jobs;
+    }
+}
+
+TEST(Runner, MatrixHonorsDmsJobsEnv)
+{
+    // jobs=0 defers to DMS_JOBS; garbage falls back safely. The
+    // result must match the serial matrix either way.
+    auto suite = standardSuite(kSuiteSeed, 5);
+    RunnerOptions serial = quickOptions(2);
+    serial.jobs = 1;
+    auto base = runMatrix(suite, serial);
+
+    ::setenv("DMS_JOBS", "3", 1);
+    RunnerOptions env = quickOptions(2);
+    env.jobs = 0;
+    auto m = runMatrix(suite, env);
+    ::unsetenv("DMS_JOBS");
+    ASSERT_EQ(m.size(), base.size());
+    for (size_t c = 0; c < m.size(); ++c)
+        EXPECT_EQ(m[c], base[c]);
+}
+
 TEST(Figures, Figure4RowsAndBounds)
 {
     auto suite = standardSuite(kSuiteSeed, 12);

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Thread pool unit tests: task execution, drain semantics,
+ * parallelFor index coverage, exception propagation, and the
+ * DMS_JOBS environment knob.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/thread_pool.h"
+
+namespace dms {
+namespace {
+
+TEST(ThreadPool, JobsDefaultsArePositive)
+{
+    ::unsetenv("DMS_JOBS");
+    ThreadPool p;
+    EXPECT_GE(p.jobs(), 1);
+    ThreadPool p1(1);
+    EXPECT_EQ(p1.jobs(), 1);
+    ThreadPool p4(4);
+    EXPECT_EQ(p4.jobs(), 4);
+}
+
+TEST(ThreadPool, SubmitRunsEveryTask)
+{
+    for (int jobs : {1, 2, 4}) {
+        ThreadPool pool(jobs);
+        std::atomic<int> sum{0};
+        for (int i = 1; i <= 100; ++i)
+            pool.submit([&sum, i] { sum += i; });
+        pool.wait();
+        EXPECT_EQ(sum.load(), 5050) << "jobs=" << jobs;
+    }
+}
+
+TEST(ThreadPool, WaitIsIdempotentAndReusable)
+{
+    ThreadPool pool(3);
+    pool.wait(); // no tasks: returns immediately
+    std::atomic<int> count{0};
+    pool.submit([&] { ++count; });
+    pool.wait();
+    pool.wait();
+    pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ParallelForCoversEachIndexExactlyOnce)
+{
+    for (int jobs : {1, 2, 8}) {
+        ThreadPool pool(jobs);
+        const size_t n = 1000;
+        std::vector<std::atomic<int>> hits(n);
+        pool.parallelFor(n, [&](size_t i) { ++hits[i]; });
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1)
+                << "index " << i << " jobs=" << jobs;
+    }
+}
+
+TEST(ThreadPool, ParallelForZeroAndFewerItemsThanWorkers)
+{
+    ThreadPool pool(8);
+    pool.parallelFor(0, [](size_t) { FAIL(); });
+    std::atomic<int> count{0};
+    pool.parallelFor(3, [&](size_t) { ++count; });
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, DeterministicOutputSlotsAcrossJobCounts)
+{
+    // Each index writes its own slot: results must match the
+    // serial order no matter how many workers interleave.
+    const size_t n = 256;
+    std::vector<long> serial(n);
+    ThreadPool one(1);
+    one.parallelFor(n, [&](size_t i) {
+        serial[i] = static_cast<long>(i * i + 7);
+    });
+    for (int jobs : {2, 4, 8}) {
+        std::vector<long> par(n);
+        ThreadPool pool(jobs);
+        pool.parallelFor(n, [&](size_t i) {
+            par[i] = static_cast<long>(i * i + 7);
+        });
+        EXPECT_EQ(par, serial) << "jobs=" << jobs;
+    }
+}
+
+TEST(ThreadPool, ExceptionsPropagateToParallelFor)
+{
+    for (int jobs : {1, 4}) {
+        ThreadPool pool(jobs);
+        EXPECT_THROW(pool.parallelFor(32,
+                                      [](size_t i) {
+                                          if (i == 13)
+                                              throw std::runtime_error(
+                                                  "boom");
+                                      }),
+                     std::runtime_error)
+            << "jobs=" << jobs;
+        // The pool stays usable after a failed run.
+        std::atomic<int> count{0};
+        pool.parallelFor(8, [&](size_t) { ++count; });
+        EXPECT_EQ(count.load(), 8);
+    }
+}
+
+TEST(ThreadPool, JobsFromEnvChecksItsInput)
+{
+    ::setenv("DMS_JOBS", "6", 1);
+    EXPECT_EQ(ThreadPool::jobsFromEnv(2), 6);
+    ::setenv("DMS_JOBS", "6x", 1); // trailing garbage
+    EXPECT_EQ(ThreadPool::jobsFromEnv(2), 2);
+    ::setenv("DMS_JOBS", "garbage", 1);
+    EXPECT_EQ(ThreadPool::jobsFromEnv(2), 2);
+    ::setenv("DMS_JOBS", "0", 1);
+    EXPECT_EQ(ThreadPool::jobsFromEnv(2), 2);
+    ::setenv("DMS_JOBS", "-3", 1);
+    EXPECT_EQ(ThreadPool::jobsFromEnv(2), 2);
+    ::setenv("DMS_JOBS", "99999999999999999999", 1); // overflow
+    EXPECT_EQ(ThreadPool::jobsFromEnv(2), 2);
+    ::unsetenv("DMS_JOBS");
+    EXPECT_EQ(ThreadPool::jobsFromEnv(2), 2);
+    ::setenv("DMS_JOBS", "3", 1);
+    ThreadPool pool;
+    EXPECT_EQ(pool.jobs(), 3);
+    ::unsetenv("DMS_JOBS");
+}
+
+} // namespace
+} // namespace dms
