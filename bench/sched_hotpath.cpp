@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Scheduler hot-path microbenchmark: single-thread throughput of the
+ * inner placement loop (the fig5 per-cell path). Bodies are unrolled
+ * and pre-passed once outside the timer; the timed region is pure
+ * scheduleDms / scheduleIms over the synthetic suite. Emits
+ * BENCH_sched_hotpath.json with placements/sec (scheduling steps,
+ * i.e. budgetUsed) and attempts/sec so the perf trajectory of the
+ * scheduler core is machine-readable across PRs.
+ *
+ * Knobs: DMS_SUITE_COUNT (default 200 loops), DMS_HOTPATH_REPS
+ * (default 3 timed repetitions; the fastest rep is reported).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/dms.h"
+#include "eval/runner.h"
+#include "ir/prepass.h"
+#include "sched/ims.h"
+#include "support/diag.h"
+#include "support/strings.h"
+#include "workload/suite.h"
+#include "workload/unroll_policy.h"
+
+namespace {
+
+using namespace dms;
+
+/** One pre-processed scheduling problem. */
+struct Prepared
+{
+    Ddg body;
+    int clusters = 0; ///< ring size, or width for unclustered
+    bool clustered = false;
+};
+
+struct Throughput
+{
+    double seconds = 0;     ///< fastest rep wall time
+    long placements = 0;    ///< budgetUsed per rep
+    long attempts = 0;      ///< II/restart attempts per rep
+    long scheduled = 0;     ///< loops that reached a schedule
+
+    double
+    placementsPerSec() const
+    {
+        return seconds > 0 ? placements / seconds : 0;
+    }
+
+    double
+    attemptsPerSec() const
+    {
+        return seconds > 0 ? attempts / seconds : 0;
+    }
+};
+
+int
+repsFromEnv(int fallback)
+{
+    const char *s = std::getenv("DMS_HOTPATH_REPS");
+    if (s == nullptr)
+        return fallback;
+    int v = 0;
+    if (!parseInt(s, v) || v <= 0) {
+        warn("DMS_HOTPATH_REPS='%s' is not a positive integer; "
+             "using %d", s, fallback);
+        return fallback;
+    }
+    return v;
+}
+
+Throughput
+timeReps(const std::vector<Prepared> &work, int reps)
+{
+    Throughput best;
+    for (int r = 0; r < reps; ++r) {
+        Throughput t;
+        auto t0 = std::chrono::steady_clock::now();
+        for (const Prepared &p : work) {
+            if (p.clustered) {
+                MachineModel m =
+                    MachineModel::clusteredRing(p.clusters);
+                DmsOutcome out = scheduleDms(p.body, m);
+                t.placements += out.sched.budgetUsed;
+                t.attempts += out.sched.attempts;
+                t.scheduled += out.sched.ok ? 1 : 0;
+            } else {
+                MachineModel m =
+                    MachineModel::unclustered(p.clusters);
+                SchedOutcome out = scheduleIms(p.body, m);
+                t.placements += out.budgetUsed;
+                t.attempts += out.attempts;
+                t.scheduled += out.ok ? 1 : 0;
+            }
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        t.seconds = std::chrono::duration<double>(t1 - t0).count();
+        if (r == 0 || t.seconds < best.seconds) {
+            long sched = best.scheduled;
+            best = t;
+            if (r > 0 && t.scheduled != sched)
+                fatal("hot-path reps diverged (%ld vs %ld loops "
+                      "scheduled)", t.scheduled, sched);
+        }
+    }
+    return best;
+}
+
+void
+appendThroughput(std::string &out, const char *key,
+                 const Throughput &t)
+{
+    out += strfmt("\"%s\":{\"seconds\":%.6f,\"placements\":%ld,"
+                  "\"attempts\":%ld,\"scheduled\":%ld,"
+                  "\"placements_per_sec\":%.1f,"
+                  "\"attempts_per_sec\":%.1f}",
+                  key, t.seconds, t.placements, t.attempts,
+                  t.scheduled, t.placementsPerSec(),
+                  t.attemptsPerSec());
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace dms;
+    const int count = suiteCountFromEnv(200);
+    const int reps = repsFromEnv(3);
+    std::vector<Loop> suite = standardSuite(kSuiteSeed, count);
+    std::printf("sched_hotpath: %zu loops, %d reps\n", suite.size(),
+                reps);
+
+    // Pre-process outside the timer: the timed region is the
+    // scheduler core only, exactly what this PR optimizes.
+    std::vector<Prepared> dms_work;
+    std::vector<Prepared> ims_work;
+    for (const Loop &loop : suite) {
+        for (int clusters : {4, 8}) {
+            Prepared p;
+            MachineModel m = MachineModel::clusteredRing(clusters);
+            p.body = applyUnrollPolicy(loop.ddg, m);
+            singleUsePrepass(p.body, m.latencyOf(Opcode::Copy));
+            p.clusters = clusters;
+            p.clustered = true;
+            dms_work.push_back(std::move(p));
+        }
+        Prepared p;
+        MachineModel m = MachineModel::unclustered(4);
+        p.body = applyUnrollPolicy(loop.ddg, m);
+        p.clusters = 4;
+        p.clustered = false;
+        ims_work.push_back(std::move(p));
+    }
+
+    Throughput dms_t = timeReps(dms_work, reps);
+    Throughput ims_t = timeReps(ims_work, reps);
+
+    std::printf("dms: %.3f s, %.0f placements/s, %.0f attempts/s\n",
+                dms_t.seconds, dms_t.placementsPerSec(),
+                dms_t.attemptsPerSec());
+    std::printf("ims: %.3f s, %.0f placements/s, %.0f attempts/s\n",
+                ims_t.seconds, ims_t.placementsPerSec(),
+                ims_t.attemptsPerSec());
+
+    std::string json = "{";
+    json += "\"bench\":\"sched_hotpath\",";
+    json += strfmt("\"suite_size\":%zu,", suite.size());
+    json += strfmt("\"reps\":%d,", reps);
+    json += strfmt("\"dms_problems\":%zu,", dms_work.size());
+    json += strfmt("\"ims_problems\":%zu,", ims_work.size());
+    appendThroughput(json, "dms", dms_t);
+    json += ",";
+    appendThroughput(json, "ims", ims_t);
+    json += "}";
+
+    const char *path = "BENCH_sched_hotpath.json";
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        warn("cannot write %s", path);
+        return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    inform("wrote %s", path);
+    return 0;
+}

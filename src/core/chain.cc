@@ -76,10 +76,11 @@ ChainRegistry::chainOfMove(OpId op) const
     return chain_of_move_[static_cast<size_t>(op)];
 }
 
-std::vector<int>
-ChainRegistry::chainsTouching(const Ddg &ddg, OpId op) const
+void
+ChainRegistry::chainsTouching(const Ddg &ddg, OpId op,
+                              std::vector<int> &out) const
 {
-    std::vector<int> out;
+    out.clear();
     for (size_t i = 0; i < chains_.size(); ++i) {
         const Chain &c = chains_[i];
         if (c.dissolved)
@@ -88,6 +89,13 @@ ChainRegistry::chainsTouching(const Ddg &ddg, OpId op) const
         if (e.src == op || e.dst == op)
             out.push_back(static_cast<int>(i));
     }
+}
+
+std::vector<int>
+ChainRegistry::chainsTouching(const Ddg &ddg, OpId op) const
+{
+    std::vector<int> out;
+    chainsTouching(ddg, op, out);
     return out;
 }
 

@@ -46,6 +46,14 @@ struct Chain
 class ChainRegistry
 {
   public:
+    /** Forget every chain (arena reuse between attempts). */
+    void
+    reset()
+    {
+        chains_.clear();
+        chain_of_move_.clear();
+    }
+
     /**
      * Splice a chain into @p ddg for @p edge, one move per cluster
      * of @p path (the intermediate clusters from the producer to
@@ -72,7 +80,15 @@ class ChainRegistry
     /** Chain owning this move op, or -1. */
     int chainOfMove(OpId op) const;
 
-    /** Live chain ids whose original producer or consumer is op. */
+    /**
+     * Live chain ids whose original producer or consumer is op,
+     * appended to @p out (cleared first) — the allocation-free form
+     * the eviction path uses.
+     */
+    void chainsTouching(const Ddg &ddg, OpId op,
+                        std::vector<int> &out) const;
+
+    /** Allocating convenience overload of the above. */
     std::vector<int> chainsTouching(const Ddg &ddg, OpId op) const;
 
     const Chain &chain(int id) const;

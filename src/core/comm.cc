@@ -59,12 +59,12 @@ succsOkAt(const Ddg &ddg, const PartialSchedule &ps,
     return true;
 }
 
-std::vector<EdgeId>
+void
 farPredecessorEdges(const Ddg &ddg, const PartialSchedule &ps,
                     const MachineModel &machine, OpId op,
-                    ClusterId cluster)
+                    ClusterId cluster, std::vector<EdgeId> &out)
 {
-    std::vector<EdgeId> out;
+    out.clear();
     for (EdgeId e : ddg.op(op).ins) {
         if (!ddg.edgeActive(e) || ddg.edge(e).kind != DepKind::Flow)
             continue;
@@ -74,27 +74,47 @@ farPredecessorEdges(const Ddg &ddg, const PartialSchedule &ps,
         if (!machine.directlyConnected(cluster, ps.clusterOf(src)))
             out.push_back(e);
     }
+}
+
+std::vector<EdgeId>
+farPredecessorEdges(const Ddg &ddg, const PartialSchedule &ps,
+                    const MachineModel &machine, OpId op,
+                    ClusterId cluster)
+{
+    std::vector<EdgeId> out;
+    farPredecessorEdges(ddg, ps, machine, op, cluster, out);
     return out;
 }
 
-std::vector<OpId>
+void
 commConflictPeers(const Ddg &ddg, const PartialSchedule &ps,
-                  const MachineModel &machine, OpId op)
+                  const MachineModel &machine, OpId op,
+                  std::vector<OpId> &out)
 {
     ClusterId mine = ps.clusterOf(op);
-    std::vector<OpId> out;
+    out.clear();
     forEachScheduledFlowNeighbor(ddg, ps, op, [&](OpId nb) {
         if (!machine.directlyConnected(mine, ps.clusterOf(nb)) &&
             std::find(out.begin(), out.end(), nb) == out.end()) {
             out.push_back(nb);
         }
     });
+}
+
+std::vector<OpId>
+commConflictPeers(const Ddg &ddg, const PartialSchedule &ps,
+                  const MachineModel &machine, OpId op)
+{
+    std::vector<OpId> out;
+    commConflictPeers(ddg, ps, machine, op, out);
     return out;
 }
 
-std::vector<ClusterId>
+void
 clustersByAffinity(const Ddg &ddg, const PartialSchedule &ps,
-                   const MachineModel &machine, OpId op, int rotate)
+                   const MachineModel &machine, OpId op, int rotate,
+                   AffinityScratch &scratch,
+                   std::vector<ClusterId> &out)
 {
     const int n = machine.numClusters();
     // Communication affinity: ring distance to scheduled flow
@@ -103,7 +123,8 @@ clustersByAffinity(const Ddg &ddg, const PartialSchedule &ps,
     // spread across the ring instead of clumping in cluster 0 and
     // balanced clusters keep the II at ResMII.
     FuClass cls = fuClassOf(ddg.op(op).opc);
-    std::vector<long> cost(static_cast<size_t>(n), 0);
+    std::vector<long> &cost = scratch.cost;
+    cost.assign(static_cast<size_t>(n), 0);
 
     forEachScheduledFlowNeighbor(ddg, ps, op, [&](OpId nb) {
         ClusterId cn = ps.clusterOf(nb);
@@ -121,19 +142,40 @@ clustersByAffinity(const Ddg &ddg, const PartialSchedule &ps,
             : 0;
         cost[static_cast<size_t>(c)] += occupied;
     }
-    std::vector<ClusterId> order(static_cast<size_t>(n));
-    std::iota(order.begin(), order.end(), 0);
+    out.resize(static_cast<size_t>(n));
+    std::iota(out.begin(), out.end(), 0);
     // Restart variants rotate the tie-break so a failed II attempt
     // can explore a different embedding of the body in the ring.
-    std::stable_sort(order.begin(), order.end(),
-                     [&](ClusterId a, ClusterId b) {
-                         long ca = cost[static_cast<size_t>(a)];
-                         long cb = cost[static_cast<size_t>(b)];
-                         if (ca != cb)
-                             return ca < cb;
-                         return (a + rotate) % n < (b + rotate) % n;
-                     });
-    return order;
+    // Stable insertion sort: rings are tiny (<= maxClusters) and
+    // std::stable_sort's temporary buffer would be the last
+    // allocation left in the placement loop.
+    auto less = [&](ClusterId a, ClusterId b) {
+        long ca = cost[static_cast<size_t>(a)];
+        long cb = cost[static_cast<size_t>(b)];
+        if (ca != cb)
+            return ca < cb;
+        return (a + rotate) % n < (b + rotate) % n;
+    };
+    for (int i = 1; i < n; ++i) {
+        ClusterId key = out[static_cast<size_t>(i)];
+        int j = i - 1;
+        while (j >= 0 && less(key, out[static_cast<size_t>(j)])) {
+            out[static_cast<size_t>(j + 1)] =
+                out[static_cast<size_t>(j)];
+            --j;
+        }
+        out[static_cast<size_t>(j + 1)] = key;
+    }
+}
+
+std::vector<ClusterId>
+clustersByAffinity(const Ddg &ddg, const PartialSchedule &ps,
+                   const MachineModel &machine, OpId op, int rotate)
+{
+    AffinityScratch scratch;
+    std::vector<ClusterId> out;
+    clustersByAffinity(ddg, ps, machine, op, rotate, scratch, out);
+    return out;
 }
 
 } // namespace dms

@@ -40,8 +40,13 @@ bool succsOkAt(const Ddg &ddg, const PartialSchedule &ps,
 /**
  * Active flow in-edges of @p op whose scheduled producer is
  * indirectly connected to @p cluster — the edges strategy 2 must
- * bridge with chains of moves.
+ * bridge with chains of moves. Appended to @p out (cleared first).
  */
+void farPredecessorEdges(const Ddg &ddg, const PartialSchedule &ps,
+                         const MachineModel &machine, OpId op,
+                         ClusterId cluster, std::vector<EdgeId> &out);
+
+/** Allocating convenience overload of the above. */
 std::vector<EdgeId> farPredecessorEdges(const Ddg &ddg,
                                         const PartialSchedule &ps,
                                         const MachineModel &machine,
@@ -50,18 +55,37 @@ std::vector<EdgeId> farPredecessorEdges(const Ddg &ddg,
 /**
  * Scheduled flow neighbours (producers and consumers over active
  * flow edges) of @p op that are indirectly connected to @p op's own
- * cluster — the operations strategy 3 ejects.
+ * cluster — the operations strategy 3 ejects. Appended to @p out
+ * (cleared first).
  */
+void commConflictPeers(const Ddg &ddg, const PartialSchedule &ps,
+                       const MachineModel &machine, OpId op,
+                       std::vector<OpId> &out);
+
+/** Allocating convenience overload of the above. */
 std::vector<OpId> commConflictPeers(const Ddg &ddg,
                                     const PartialSchedule &ps,
                                     const MachineModel &machine,
                                     OpId op);
 
+/** Reusable buffers for the allocation-free affinity query. */
+struct AffinityScratch
+{
+    std::vector<long> cost;
+};
+
 /**
  * Clusters ordered by how close they are to @p op's scheduled flow
  * neighbours (sum of ring distances, ties by index): the scan order
- * for strategies 1 and 2.
+ * for strategies 1 and 2. Written into @p out (cleared first);
+ * @p scratch holds the per-cluster cost table between calls.
  */
+void clustersByAffinity(const Ddg &ddg, const PartialSchedule &ps,
+                        const MachineModel &machine, OpId op,
+                        int rotate, AffinityScratch &scratch,
+                        std::vector<ClusterId> &out);
+
+/** Allocating convenience overload of the above. */
 std::vector<ClusterId> clustersByAffinity(const Ddg &ddg,
                                           const PartialSchedule &ps,
                                           const MachineModel &machine,

@@ -6,23 +6,43 @@
 #include "core/comm.h"
 #include "sched/mii.h"
 #include "sched/priority.h"
+#include "sched/worklist.h"
 #include "support/diag.h"
 
 namespace dms {
 
 namespace {
 
-/** One II attempt's worth of DMS state. */
+/**
+ * DMS state reused across every (II, restart) attempt of one
+ * scheduling run: the scratch graph, the partial schedule, the
+ * chain registry, the height table, the priority worklist and the
+ * per-placement scratch vectors all live in one arena that
+ * beginAttempt() re-shapes without reallocating.
+ */
 class DmsAttempt
 {
   public:
     DmsAttempt(const Ddg &original, const MachineModel &machine,
-               const DmsParams &params, int ii, int variant)
-        : machine_(machine), params_(params), ii_(ii),
-          variant_(variant), ddg_(std::make_unique<Ddg>(original)),
-          ps_(std::make_unique<PartialSchedule>(*ddg_, machine, ii)),
-          heights_(computeHeights(*ddg_, ii))
+               const DmsParams &params)
+        : original_(original), machine_(machine), params_(params),
+          ddg_(std::make_unique<Ddg>(original)),
+          ps_(std::make_unique<PartialSchedule>(
+              *ddg_, machine, /*ii=*/1))
     {}
+
+    /** Re-arm the arena for one (II, restart) attempt. */
+    void
+    beginAttempt(int ii, int variant)
+    {
+        ii_ = ii;
+        variant_ = variant;
+        ddg_->resetTo(original_);
+        ps_->reset(ii);
+        chains_.reset();
+        computeHeights(*ddg_, ii, heights_);
+        worklist_.build(*ddg_, heights_);
+    }
 
     /** Run the pass; true if everything got scheduled in budget. */
     bool
@@ -32,8 +52,10 @@ class DmsAttempt
             if (budget-- <= 0)
                 return false;
             ++used;
-            OpId op = pickNext();
+            OpId op = worklist_.pop();
             DMS_ASSERT(op != kInvalidOp, "no unscheduled op");
+            DMS_ASSERT(ddg_->op(op).origin != OpOrigin::MoveOp,
+                       "unscheduled move op %d in worklist", op);
             scheduleOp(op);
         }
         return true;
@@ -59,29 +81,16 @@ class DmsAttempt
     }
 
   private:
-    /** Highest-height unscheduled op. Moves never appear: they are
-     * scheduled at chain creation and removed on dissolution. */
-    OpId
-    pickNext() const
-    {
-        OpId best = kInvalidOp;
-        for (OpId id = 0; id < ddg_->numOps(); ++id) {
-            if (!ddg_->opLive(id) || ps_->isScheduled(id))
-                continue;
-            DMS_ASSERT(ddg_->op(id).origin != OpOrigin::MoveOp,
-                       "unscheduled move op %d in worklist", id);
-            if (best == kInvalidOp ||
-                heights_[static_cast<size_t>(id)] >
-                    heights_[static_cast<size_t>(best)]) {
-                best = id;
-            }
-        }
-        return best;
-    }
-
     void
     scheduleOp(OpId op)
     {
+        // One affinity ranking serves all three strategies: a
+        // failed strategy 1 mutates nothing, and a failed
+        // strategy 2 dissolves every chain it placed, so the
+        // schedule state the ranking depends on is identical at
+        // each strategy entry.
+        clustersByAffinity(*ddg_, *ps_, machine_, op, variant_,
+                           aff_scratch_, affinity_);
         if (strategy1(op))
             return;
         if (params_.enableChains && strategy2(op))
@@ -98,8 +107,7 @@ class DmsAttempt
     strategy1(OpId op)
     {
         Cycle early = ps_->earlyStart(op);
-        for (ClusterId c :
-             clustersByAffinity(*ddg_, *ps_, machine_, op, variant_)) {
+        for (ClusterId c : affinity_) {
             if (!commOkAt(*ddg_, *ps_, machine_, op, c))
                 continue;
             Cycle slot = ps_->findFreeSlot(op, c, early);
@@ -133,9 +141,9 @@ class DmsAttempt
         // Free copy-unit slots per cluster, the quantity the
         // paper's selection rule preserves.
         const int nc = machine_.numClusters();
-        std::vector<int> base_free(static_cast<size_t>(nc));
+        base_free_.assign(static_cast<size_t>(nc), 0);
         for (ClusterId c = 0; c < nc; ++c) {
-            base_free[static_cast<size_t>(c)] =
+            base_free_[static_cast<size_t>(c)] =
                 rt.freeSlotCount(c, FuClass::Copy);
         }
 
@@ -148,27 +156,25 @@ class DmsAttempt
         };
         Candidate best;
 
-        for (ClusterId c :
-             clustersByAffinity(*ddg_, *ps_, machine_, op, variant_)) {
+        for (ClusterId c : affinity_) {
             if (!succsOkAt(*ddg_, *ps_, machine_, op, c))
                 continue;
-            auto far_edges =
-                farPredecessorEdges(*ddg_, *ps_, machine_, op, c);
-            if (far_edges.empty())
+            farPredecessorEdges(*ddg_, *ps_, machine_, op, c,
+                                far_edges_);
+            if (far_edges_.empty())
                 continue; // strategy 1 territory; resources failed
 
-            std::vector<int> claimed(static_cast<size_t>(nc), 0);
+            claimed_.assign(static_cast<size_t>(nc), 0);
             std::vector<ChainOption> plan;
             bool feasible = true;
-            for (EdgeId e : far_edges) {
-                ChainOption opt =
-                    planOneChain(e, c, base_free, claimed);
+            for (EdgeId e : far_edges_) {
+                ChainOption opt = planOneChain(e, c);
                 if (opt.path.empty()) {
                     feasible = false;
                     break;
                 }
                 for (ClusterId x : opt.path)
-                    ++claimed[static_cast<size_t>(x)];
+                    ++claimed_[static_cast<size_t>(x)];
                 plan.push_back(std::move(opt));
             }
             if (!feasible)
@@ -177,9 +183,10 @@ class DmsAttempt
             int min_free = INT32_MAX;
             int moves = 0;
             for (ClusterId x = 0; x < nc; ++x) {
-                min_free = std::min(min_free,
-                                    base_free[static_cast<size_t>(x)] -
-                                        claimed[static_cast<size_t>(x)]);
+                min_free = std::min(
+                    min_free,
+                    base_free_[static_cast<size_t>(x)] -
+                        claimed_[static_cast<size_t>(x)]);
             }
             for (const ChainOption &o : plan)
                 moves += static_cast<int>(o.path.size());
@@ -203,13 +210,12 @@ class DmsAttempt
 
     /**
      * Pick a direction for one chain, honouring slots already
-     * claimed by sibling chains of the same candidate. Empty path
-     * in the result means neither direction fits.
+     * claimed (in claimed_) by sibling chains of the same
+     * candidate. Empty path in the result means neither direction
+     * fits.
      */
     ChainOption
-    planOneChain(EdgeId e, ClusterId target,
-                 const std::vector<int> &base_free,
-                 const std::vector<int> &claimed) const
+    planOneChain(EdgeId e, ClusterId target) const
     {
         ClusterId from = ps_->clusterOf(ddg_->edge(e).src);
         ChainOption best;
@@ -224,8 +230,8 @@ class DmsAttempt
             bool fits = true;
             int min_free = INT32_MAX;
             for (ClusterId x : path) {
-                int free_here = base_free[static_cast<size_t>(x)] -
-                                claimed[static_cast<size_t>(x)] - 1;
+                int free_here = base_free_[static_cast<size_t>(x)] -
+                                claimed_[static_cast<size_t>(x)] - 1;
                 if (free_here < 0) {
                     fits = false;
                     break;
@@ -260,12 +266,12 @@ class DmsAttempt
                     const std::vector<ChainOption> &plan)
     {
         const int move_lat = machine_.latencyOf(Opcode::Move);
-        std::vector<int> created;
+        created_.clear();
 
         for (const ChainOption &opt : plan) {
             int cid =
                 chains_.create(*ddg_, opt.edge, opt.path, move_lat);
-            created.push_back(cid);
+            created_.push_back(cid);
             const Chain &ch = chains_.chain(cid);
 
             // Grow the height table for the new moves. A move
@@ -301,16 +307,16 @@ class DmsAttempt
         Cycle slot = ps_->findFreeSlot(op, cluster, early);
         if (slot == kUnscheduled) {
             if (fuClassOf(ddg_->op(op).opc) == FuClass::Copy) {
-                for (int cid : created)
+                for (int cid : created_)
                     chains_.dissolve(cid, *ddg_, *ps_);
                 return false;
             }
             slot = ps_->forcedSlot(op, early);
         }
 
-        std::vector<OpId> evicted;
-        ps_->placeEvicting(op, slot, cluster, heights_, evicted);
-        for (OpId v : evicted)
+        evicted_.clear();
+        ps_->placeEvicting(op, slot, cluster, heights_, evicted_);
+        for (OpId v : evicted_)
             handleEvicted(v);
         ejectViolatedSuccessors(op);
         return true;
@@ -326,8 +332,7 @@ class DmsAttempt
     {
         ClusterId cluster = kInvalidCluster;
         if (params_.s3Policy == S3ClusterPolicy::PreferCommOk) {
-            for (ClusterId c :
-                 clustersByAffinity(*ddg_, *ps_, machine_, op, variant_)) {
+            for (ClusterId c : affinity_) {
                 if (commOkAt(*ddg_, *ps_, machine_, op, c)) {
                     cluster = c;
                     break;
@@ -345,16 +350,16 @@ class DmsAttempt
         if (slot == kUnscheduled)
             slot = ps_->forcedSlot(op, early);
 
-        std::vector<OpId> evicted;
-        ps_->placeEvicting(op, slot, cluster, heights_, evicted);
-        for (OpId v : evicted)
+        evicted_.clear();
+        ps_->placeEvicting(op, slot, cluster, heights_, evicted_);
+        for (OpId v : evicted_)
             handleEvicted(v);
 
         ejectViolatedSuccessors(op);
 
         // Communication conflicts: eject the far peers.
-        for (OpId peer :
-             commConflictPeers(*ddg_, *ps_, machine_, op)) {
+        commConflictPeers(*ddg_, *ps_, machine_, op, peers_);
+        for (OpId peer : peers_) {
             if (ps_->isScheduled(peer))
                 backtrackUnschedule(peer);
         }
@@ -367,9 +372,9 @@ class DmsAttempt
         // Re-query after every ejection: dissolving a chain edits
         // the edge set.
         while (true) {
-            auto viol = ps_->violatedSuccessors(op);
+            ps_->violatedSuccessors(op, viol_);
             bool any = false;
-            for (OpId v : viol) {
+            for (OpId v : viol_) {
                 if (ps_->isScheduled(v)) {
                     backtrackUnschedule(v);
                     any = true;
@@ -383,15 +388,18 @@ class DmsAttempt
 
     /**
      * Post-process an operation that placeEvicting() already pulled
-     * out of the schedule (chain bookkeeping only).
+     * out of the schedule (chain bookkeeping plus worklist
+     * re-insertion).
      */
     void
     handleEvicted(OpId victim)
     {
-        if (ddg_->op(victim).origin == OpOrigin::MoveOp)
+        if (ddg_->op(victim).origin == OpOrigin::MoveOp) {
             dissolveMoveChain(victim);
-        else
+        } else {
+            worklist_.push(victim);
             dissolveTouchingChains(victim);
+        }
     }
 
     /** Chain-aware unschedule of a currently scheduled op. */
@@ -403,6 +411,7 @@ class DmsAttempt
             return;
         }
         ps_->unschedule(victim);
+        worklist_.push(victim);
         dissolveTouchingChains(victim);
     }
 
@@ -433,18 +442,33 @@ class DmsAttempt
     void
     dissolveTouchingChains(OpId endpoint)
     {
-        for (int cid : chains_.chainsTouching(*ddg_, endpoint))
+        chains_.chainsTouching(*ddg_, endpoint, touching_);
+        for (int cid : touching_)
             chains_.dissolve(cid, *ddg_, *ps_);
     }
 
+    const Ddg &original_;
     const MachineModel &machine_;
     const DmsParams &params_;
-    const int ii_;
-    const int variant_;
+    int ii_ = 0;
+    int variant_ = 0;
     std::unique_ptr<Ddg> ddg_;
     std::unique_ptr<PartialSchedule> ps_;
     ChainRegistry chains_;
     Heights heights_;
+    Worklist worklist_;
+
+    /** Per-placement scratch, reused to stay allocation-free. */
+    std::vector<OpId> evicted_;
+    std::vector<OpId> viol_;
+    std::vector<OpId> peers_;
+    std::vector<EdgeId> far_edges_;
+    std::vector<ClusterId> affinity_;
+    AffinityScratch aff_scratch_;
+    std::vector<int> base_free_;
+    std::vector<int> claimed_;
+    std::vector<int> created_;
+    std::vector<int> touching_;
 };
 
 } // namespace
@@ -469,10 +493,11 @@ scheduleDms(const Ddg &ddg, const MachineModel &machine,
     budget = std::max<long>(budget, 1);
 
     const int restarts = std::max(1, params.restartsPerII);
+    DmsAttempt attempt(ddg, machine, params);
     for (int ii = out.sched.mii; ii <= max_ii; ++ii) {
         for (int v = 0; v < restarts; ++v) {
             ++out.sched.attempts;
-            DmsAttempt attempt(ddg, machine, params, ii, v);
+            attempt.beginAttempt(ii, v);
             if (attempt.run(budget, out.sched.budgetUsed)) {
                 out.sched.ok = true;
                 out.sched.ii = ii;

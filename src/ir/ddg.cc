@@ -33,6 +33,20 @@ Ddg::addOp(Opcode opc, OpOrigin origin)
     return id;
 }
 
+void
+Ddg::resetTo(const Ddg &original)
+{
+    DMS_ASSERT(this != &original, "resetTo self");
+    // Vector copy-assignment reuses the destination buffers when
+    // capacity allows — including the per-operation ins/outs
+    // vectors of the common prefix — which is what makes repeated
+    // attempts allocation-free in steady state.
+    ops_ = original.ops_;
+    edges_ = original.edges_;
+    live_ops_ = original.live_ops_;
+    unroll_factor_ = original.unroll_factor_;
+}
+
 EdgeId
 Ddg::addEdge(OpId src, OpId dst, DepKind kind, int distance,
              int latency, int operand_index)

@@ -125,6 +125,14 @@ class Ddg
     OpId addOp(Opcode opc, OpOrigin origin = OpOrigin::Original);
 
     /**
+     * Make this graph a copy of @p original while reusing the
+     * existing allocations (including each operation's adjacency
+     * buffers), so one scratch graph serves every (II, restart)
+     * attempt of a scheduling run without churning the allocator.
+     */
+    void resetTo(const Ddg &original);
+
+    /**
      * Add a dependence edge.
      *
      * @param operand_index operand slot for Flow edges; -1 otherwise.

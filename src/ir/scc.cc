@@ -12,15 +12,16 @@ namespace {
 struct TarjanState
 {
     const Ddg &ddg;
+    const std::function<void(const OpId *, size_t)> &emit;
     std::vector<int> index;
     std::vector<int> lowlink;
     std::vector<bool> on_stack;
     std::vector<OpId> stack;
-    std::vector<Scc> sccs;
     int next_index = 0;
 
-    explicit TarjanState(const Ddg &g)
-        : ddg(g),
+    TarjanState(const Ddg &g,
+                const std::function<void(const OpId *, size_t)> &fn)
+        : ddg(g), emit(fn),
           index(static_cast<size_t>(g.numOps()), -1),
           lowlink(static_cast<size_t>(g.numOps()), -1),
           on_stack(static_cast<size_t>(g.numOps()), false)
@@ -75,17 +76,21 @@ struct TarjanState
                 lowlink[pi] = std::min(lowlink[pi], lowlink[vi]);
             }
             if (lowlink[vi] == index[vi]) {
-                Scc scc;
+                // Emit the SCC in place from the Tarjan stack: sort
+                // its segment, hand it to the visitor, then pop.
+                size_t base = stack.size();
                 while (true) {
-                    OpId w = stack.back();
-                    stack.pop_back();
-                    on_stack[static_cast<size_t>(w)] = false;
-                    scc.push_back(w);
-                    if (w == v)
+                    --base;
+                    on_stack[static_cast<size_t>(stack[base])] =
+                        false;
+                    if (stack[base] == v)
                         break;
                 }
-                std::sort(scc.begin(), scc.end());
-                sccs.push_back(std::move(scc));
+                std::sort(stack.begin() +
+                              static_cast<std::ptrdiff_t>(base),
+                          stack.end());
+                emit(stack.data() + base, stack.size() - base);
+                stack.resize(base);
             }
         }
     }
@@ -93,17 +98,27 @@ struct TarjanState
 
 } // namespace
 
-std::vector<Scc>
-stronglyConnectedComponents(const Ddg &ddg)
+void
+forEachScc(const Ddg &ddg,
+           const std::function<void(const OpId *, size_t)> &fn)
 {
-    TarjanState st(ddg);
+    TarjanState st(ddg, fn);
     for (OpId id = 0; id < ddg.numOps(); ++id) {
         if (ddg.opLive(id) &&
             st.index[static_cast<size_t>(id)] < 0) {
             st.run(id);
         }
     }
-    return st.sccs;
+}
+
+std::vector<Scc>
+stronglyConnectedComponents(const Ddg &ddg)
+{
+    std::vector<Scc> sccs;
+    forEachScc(ddg, [&](const OpId *ops, size_t n) {
+        sccs.emplace_back(ops, ops + n);
+    });
+    return sccs;
 }
 
 bool

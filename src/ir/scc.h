@@ -9,6 +9,7 @@
  * exactly the loops whose DDGs have no non-trivial SCC.
  */
 
+#include <functional>
 #include <vector>
 
 #include "ir/ddg.h"
@@ -17,6 +18,16 @@ namespace dms {
 
 /** One strongly-connected component: the member op ids. */
 using Scc = std::vector<OpId>;
+
+/**
+ * Visit every SCC in Tarjan emission order without materializing a
+ * vector per component: @p fn receives the members sorted
+ * ascending, valid only for the duration of the call. This is the
+ * allocation-light form recMii (called once per scheduling run,
+ * i.e. on the fig5 hot path) iterates.
+ */
+void forEachScc(const Ddg &ddg,
+                const std::function<void(const OpId *, size_t)> &fn);
 
 /**
  * All SCCs over live ops and active edges (every dependence kind

@@ -4,6 +4,7 @@
 
 #include "sched/mii.h"
 #include "sched/priority.h"
+#include "sched/worklist.h"
 #include "support/diag.h"
 
 namespace dms {
@@ -16,40 +17,29 @@ defaultMaxII(int mii)
 
 namespace {
 
-/**
- * Highest-height unscheduled live op, ties broken by lower id.
- * Linear scan: bodies are at most a few hundred ops and the scan is
- * cheaper than maintaining a heap under eviction churn.
- */
-OpId
-pickNext(const Ddg &ddg, const PartialSchedule &ps, const Heights &h)
+/** Scratch arenas reused across the whole II ladder of one run. */
+struct ImsArena
 {
-    OpId best = kInvalidOp;
-    for (OpId id = 0; id < ddg.numOps(); ++id) {
-        if (!ddg.opLive(id) || ps.isScheduled(id))
-            continue;
-        if (best == kInvalidOp ||
-            h[static_cast<size_t>(id)] > h[static_cast<size_t>(best)]) {
-            best = id;
-        }
-    }
-    return best;
-}
+    Heights heights;
+    Worklist worklist;
+    std::vector<OpId> evicted;
+    std::vector<OpId> violated;
+};
 
 bool
-imsPass(const Ddg &ddg, const MachineModel &machine, int ii,
-        long budget, const std::vector<ClusterId> *assignment,
-        PartialSchedule &ps, long &used)
+imsPass(const Ddg &ddg, int ii, long budget,
+        const std::vector<ClusterId> *assignment,
+        PartialSchedule &ps, ImsArena &arena, long &used)
 {
-    Heights heights = computeHeights(ddg, ii);
-    (void)machine;
+    computeHeights(ddg, ii, arena.heights);
+    arena.worklist.build(ddg, arena.heights);
 
     while (ps.scheduledCount() < ddg.liveOpCount()) {
         if (budget-- <= 0)
             return false;
         ++used;
 
-        OpId op = pickNext(ddg, ps, heights);
+        OpId op = arena.worklist.pop();
         DMS_ASSERT(op != kInvalidOp, "no unscheduled op found");
 
         ClusterId cluster = 0;
@@ -65,10 +55,16 @@ imsPass(const Ddg &ddg, const MachineModel &machine, int ii,
         if (slot == kUnscheduled)
             slot = ps.forcedSlot(op, early);
 
-        std::vector<OpId> evicted;
-        ps.placeEvicting(op, slot, cluster, heights, evicted);
-        for (OpId v : ps.violatedSuccessors(op))
+        arena.evicted.clear();
+        ps.placeEvicting(op, slot, cluster, arena.heights,
+                         arena.evicted);
+        for (OpId v : arena.evicted)
+            arena.worklist.push(v);
+        ps.violatedSuccessors(op, arena.violated);
+        for (OpId v : arena.violated) {
             ps.unschedule(v);
+            arena.worklist.push(v);
+        }
     }
     return true;
 }
@@ -89,11 +85,15 @@ runIms(const Ddg &ddg, const MachineModel &machine,
         static_cast<long>(params.budgetRatio) * ddg.liveOpCount();
     budget = std::max<long>(budget, 1);
 
+    // One schedule and one arena serve the whole II ladder;
+    // reset() re-shapes them per attempt without reallocating.
+    auto ps = std::make_unique<PartialSchedule>(ddg, machine,
+                                                std::max(out.mii, 1));
+    ImsArena arena;
     for (int ii = out.mii; ii <= max_ii; ++ii) {
         ++out.attempts;
-        auto ps =
-            std::make_unique<PartialSchedule>(ddg, machine, ii);
-        if (imsPass(ddg, machine, ii, budget, assignment, *ps,
+        ps->reset(ii);
+        if (imsPass(ddg, ii, budget, assignment, *ps, arena,
                     out.budgetUsed)) {
             out.ok = true;
             out.ii = ii;

@@ -33,16 +33,16 @@ namespace {
  * True if, at the given II, the SCC contains a cycle of positive
  * weight under w(e) = latency - II * distance (i.e. II is too
  * small). Bellman-Ford longest-path relaxation limited to the SCC.
+ * @p dense maps op -> index within the SCC (-1 outside); @p dist
+ * is caller-owned scratch so the binary search over II does not
+ * reallocate per probe.
  */
 bool
-hasPositiveCycle(const Ddg &ddg, const Scc &scc, int ii)
+hasPositiveCycle(const Ddg &ddg, const Scc &scc, int ii,
+                 const std::vector<int> &dense,
+                 std::vector<std::int64_t> &dist)
 {
-    // Map op -> dense index within the SCC.
-    std::vector<int> dense(static_cast<size_t>(ddg.numOps()), -1);
-    for (size_t i = 0; i < scc.size(); ++i)
-        dense[static_cast<size_t>(scc[i])] = static_cast<int>(i);
-
-    std::vector<std::int64_t> dist(scc.size(), 0);
+    dist.assign(scc.size(), 0);
     for (size_t pass = 0; pass <= scc.size(); ++pass) {
         bool changed = false;
         for (OpId u : scc) {
@@ -76,20 +76,24 @@ int
 recMii(const Ddg &ddg)
 {
     int best = 1;
-    for (const Scc &scc : stronglyConnectedComponents(ddg)) {
+    std::vector<int> dense;
+    std::vector<std::int64_t> dist;
+    Scc scc;
+    forEachScc(ddg, [&](const OpId *members, size_t n) {
         // Trivial SCCs constrain only via self-loops.
-        bool cyclic = scc.size() > 1;
+        bool cyclic = n > 1;
         std::int64_t lat_sum = 0;
         if (!cyclic) {
-            for (EdgeId e : ddg.op(scc[0]).outs) {
+            for (EdgeId e : ddg.op(members[0]).outs) {
                 if (ddg.edgeActive(e) &&
-                    ddg.edge(e).dst == scc[0]) {
+                    ddg.edge(e).dst == members[0]) {
                     cyclic = true;
                 }
             }
         }
         if (!cyclic)
-            continue;
+            return;
+        scc.assign(members, members + n);
 
         for (OpId u : scc) {
             for (EdgeId e : ddg.op(u).outs) {
@@ -98,21 +102,31 @@ recMii(const Ddg &ddg)
             }
         }
 
+        // Dense op -> SCC index map, shared by every probe of the
+        // binary search and undone per SCC (SCCs are disjoint).
+        if (dense.empty())
+            dense.assign(static_cast<size_t>(ddg.numOps()), -1);
+        for (size_t i = 0; i < scc.size(); ++i)
+            dense[static_cast<size_t>(scc[i])] = static_cast<int>(i);
+
         // Binary search the smallest feasible II for this SCC.
         int lo = best;
         int hi = std::max<int>(lo,
             static_cast<int>(std::min<std::int64_t>(lat_sum, 1 << 20)));
-        while (hasPositiveCycle(ddg, scc, hi))
+        while (hasPositiveCycle(ddg, scc, hi, dense, dist))
             hi *= 2;
         while (lo < hi) {
             int mid = lo + (hi - lo) / 2;
-            if (hasPositiveCycle(ddg, scc, mid))
+            if (hasPositiveCycle(ddg, scc, mid, dense, dist))
                 lo = mid + 1;
             else
                 hi = mid;
         }
         best = std::max(best, lo);
-    }
+
+        for (OpId u : scc)
+            dense[static_cast<size_t>(u)] = -1;
+    });
     return best;
 }
 

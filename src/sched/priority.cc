@@ -7,7 +7,16 @@ namespace dms {
 Heights
 computeHeights(const Ddg &ddg, int ii)
 {
-    Heights h(static_cast<size_t>(ddg.numOps()), 0);
+    Heights h;
+    computeHeights(ddg, ii, h);
+    return h;
+}
+
+void
+computeHeights(const Ddg &ddg, int ii, Heights &out)
+{
+    Heights &h = out;
+    h.assign(static_cast<size_t>(ddg.numOps()), 0);
 
     // Longest-path to any sink: h(v) = max(0, max over v->s of
     // h(s) + lat - II*dist). Queue-based relaxation; bounded by
@@ -43,7 +52,6 @@ computeHeights(const Ddg &ddg, int ii)
             }
         }
     }
-    return h;
 }
 
 } // namespace dms

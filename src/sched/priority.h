@@ -28,6 +28,12 @@ using Heights = std::vector<std::int64_t>;
  */
 Heights computeHeights(const Ddg &ddg, int ii);
 
+/**
+ * Allocation-free variant: compute into @p out (resized and
+ * overwritten), reusing its capacity across attempts.
+ */
+void computeHeights(const Ddg &ddg, int ii, Heights &out);
+
 } // namespace dms
 
 #endif // DMS_SCHED_PRIORITY_H

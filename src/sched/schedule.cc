@@ -14,6 +14,22 @@ PartialSchedule::PartialSchedule(const Ddg &ddg,
 }
 
 void
+PartialSchedule::reset(int ii)
+{
+    ii_ = ii;
+    rt_.reset(ii);
+    const size_t n = static_cast<size_t>(ddg_->numOps());
+    placements_.assign(n, Placement{});
+    last_time_.assign(n, kUnscheduled);
+    times_placed_.assign(n, 0);
+    seen_epoch_.assign(n, 0);
+    epoch_ = 0;
+    scheduled_count_ = 0;
+    max_time_ = -1;
+    max_time_dirty_ = false;
+}
+
+void
 PartialSchedule::ensureSize(OpId op) const
 {
     size_t need = static_cast<size_t>(op) + 1;
@@ -21,6 +37,7 @@ PartialSchedule::ensureSize(OpId op) const
         placements_.resize(need);
         last_time_.resize(need, kUnscheduled);
         times_placed_.resize(need, 0);
+        seen_epoch_.resize(need, 0);
     }
 }
 
@@ -80,11 +97,7 @@ PartialSchedule::findFreeSlot(OpId op, ClusterId cluster,
                               Cycle early) const
 {
     FuClass cls = fuClassOf(ddg_->op(op).opc);
-    for (Cycle t = early; t < early + ii_; ++t) {
-        if (rt_.hasFree(cluster, cls, t % ii_))
-            return t;
-    }
-    return kUnscheduled;
+    return rt_.firstFreeCycle(cluster, cls, early);
 }
 
 Cycle
@@ -95,6 +108,22 @@ PartialSchedule::forcedSlot(OpId op, Cycle early) const
     if (prev == kUnscheduled || prev + 1 < early)
         return early;
     return prev + 1;
+}
+
+void
+PartialSchedule::placeAt(OpId op, Cycle cycle, ClusterId cluster,
+                         FuClass cls, int instance)
+{
+    rt_.place(op, cluster, cls, instance, cycle % ii_);
+    Placement &p = placements_[static_cast<size_t>(op)];
+    p.time = cycle;
+    p.cluster = cluster;
+    p.fuInstance = instance;
+    last_time_[static_cast<size_t>(op)] = cycle;
+    ++times_placed_[static_cast<size_t>(op)];
+    ++scheduled_count_;
+    if (!max_time_dirty_)
+        max_time_ = std::max(max_time_, cycle);
 }
 
 bool
@@ -109,14 +138,7 @@ PartialSchedule::tryPlace(OpId op, Cycle cycle, ClusterId cluster)
     int inst = rt_.freeInstance(cluster, cls, cycle % ii_);
     if (inst < 0)
         return false;
-    rt_.place(op, cluster, cls, inst, cycle % ii_);
-    Placement &p = placements_[static_cast<size_t>(op)];
-    p.time = cycle;
-    p.cluster = cluster;
-    p.fuInstance = inst;
-    last_time_[static_cast<size_t>(op)] = cycle;
-    ++times_placed_[static_cast<size_t>(op)];
-    ++scheduled_count_;
+    placeAt(op, cycle, cluster, cls, inst);
     return true;
 }
 
@@ -128,7 +150,8 @@ PartialSchedule::placeEvicting(OpId op, Cycle cycle, ClusterId cluster,
     if (tryPlace(op, cycle, cluster))
         return;
 
-    // Every instance busy: evict the lowest-height occupant.
+    // Every instance busy: evict the lowest-height occupant and
+    // re-place straight into its instance (the only free one).
     FuClass cls = fuClassOf(ddg_->op(op).opc);
     int row = cycle % ii_;
     int per = machine_.fusPerCluster(cls);
@@ -149,11 +172,9 @@ PartialSchedule::placeEvicting(OpId op, Cycle cycle, ClusterId cluster,
         }
     }
     DMS_ASSERT(victim != kInvalidOp, "full row with no occupant");
-    (void)victim_inst;
     unschedule(victim);
     evicted.push_back(victim);
-    bool ok = tryPlace(op, cycle, cluster);
-    DMS_ASSERT(ok, "place failed after eviction");
+    placeAt(op, cycle, cluster, cls, victim_inst);
 }
 
 void
@@ -165,15 +186,23 @@ PartialSchedule::unschedule(OpId op)
                ddg_->opLabel(op).c_str());
     FuClass cls = fuClassOf(ddg_->op(op).opc);
     rt_.clear(op, p.cluster, cls, p.fuInstance, p.time % ii_);
+    if (!max_time_dirty_ && p.time == max_time_)
+        max_time_dirty_ = true;
     p = Placement{};
     --scheduled_count_;
 }
 
-std::vector<OpId>
-PartialSchedule::violatedSuccessors(OpId op) const
+void
+PartialSchedule::violatedSuccessors(OpId op,
+                                    std::vector<OpId> &out) const
 {
-    std::vector<OpId> out;
+    out.clear();
     DMS_ASSERT(isScheduled(op), "violatedSuccessors of unscheduled op");
+    if (++epoch_ == 0) {
+        // Epoch wrapped: stale stamps could alias, so restamp.
+        std::fill(seen_epoch_.begin(), seen_epoch_.end(), 0);
+        epoch_ = 1;
+    }
     Cycle t = timeOf(op);
     for (EdgeId e : ddg_->op(op).outs) {
         if (!ddg_->edgeActive(e))
@@ -184,11 +213,12 @@ PartialSchedule::violatedSuccessors(OpId op) const
         if (!isScheduled(ed.dst))
             continue;
         if (timeOf(ed.dst) < t + ed.latency - ii_ * ed.distance) {
-            if (std::find(out.begin(), out.end(), ed.dst) == out.end())
+            if (seen_epoch_[static_cast<size_t>(ed.dst)] != epoch_) {
+                seen_epoch_[static_cast<size_t>(ed.dst)] = epoch_;
                 out.push_back(ed.dst);
+            }
         }
     }
-    return out;
 }
 
 int
@@ -201,12 +231,16 @@ PartialSchedule::placementCount(OpId op) const
 Cycle
 PartialSchedule::maxTime() const
 {
-    Cycle m = -1;
-    for (OpId id = 0; id < ddg_->numOps(); ++id) {
-        if (ddg_->opLive(id) && isScheduled(id))
-            m = std::max(m, timeOf(id));
+    if (max_time_dirty_) {
+        Cycle m = -1;
+        for (OpId id = 0; id < ddg_->numOps(); ++id) {
+            if (ddg_->opLive(id) && isScheduled(id))
+                m = std::max(m, timeOf(id));
+        }
+        max_time_ = m;
+        max_time_dirty_ = false;
     }
-    return m;
+    return max_time_;
 }
 
 } // namespace dms

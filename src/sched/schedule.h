@@ -5,7 +5,10 @@
  * @file
  * Partial modulo schedule: per-operation placements plus the modulo
  * reservation table, with the eviction machinery both IMS and DMS
- * backtracking rely on.
+ * backtracking rely on. Designed for reuse across the II ladder:
+ * reset() re-shapes the arenas for a new attempt without
+ * reallocating, and the hot queries (findFreeSlot, maxTime,
+ * violatedSuccessors) are incremental rather than rescans.
  */
 
 #include <memory>
@@ -40,6 +43,13 @@ class PartialSchedule
     PartialSchedule(const Ddg &ddg, const MachineModel &machine,
                     int ii);
 
+    /**
+     * Reset to an empty schedule at a (possibly different) II,
+     * reusing every allocation. The referenced DDG must already be
+     * in its fresh-attempt state (e.g. after Ddg::resetTo()).
+     */
+    void reset(int ii);
+
     int ii() const { return ii_; }
     const MachineModel &machine() const { return machine_; }
     const Ddg &ddg() const { return *ddg_; }
@@ -60,6 +70,7 @@ class PartialSchedule
      * Rau's time-slot search: the first cycle in
      * [early, early + II - 1] with a free FU instance in
      * @p cluster, or kUnscheduled if every row is occupied.
+     * O(II/64) via the reservation table's row bitmask.
      */
     Cycle findFreeSlot(OpId op, ClusterId cluster, Cycle early) const;
 
@@ -90,9 +101,20 @@ class PartialSchedule
 
     /**
      * Scheduled successors of @p op whose dependence constraint
-     * time(dst) >= time(op) + lat - II*dist is now violated.
+     * time(dst) >= time(op) + lat - II*dist is now violated,
+     * deduplicated in first-encounter order, appended to @p out
+     * (which is cleared first).
      */
-    std::vector<OpId> violatedSuccessors(OpId op) const;
+    void violatedSuccessors(OpId op, std::vector<OpId> &out) const;
+
+    /** Allocating convenience overload of the above. */
+    std::vector<OpId>
+    violatedSuccessors(OpId op) const
+    {
+        std::vector<OpId> out;
+        violatedSuccessors(op, out);
+        return out;
+    }
 
     /** Number of live ops currently scheduled. */
     int scheduledCount() const { return scheduled_count_; }
@@ -100,13 +122,21 @@ class PartialSchedule
     /** Times this op has ever been placed (for forced slots). */
     int placementCount(OpId op) const;
 
-    /** Largest scheduled time, or -1 for an empty schedule. */
+    /**
+     * Largest scheduled time, or -1 for an empty schedule.
+     * Memoized: O(1) unless an eviction removed the maximum since
+     * the last query.
+     */
     Cycle maxTime() const;
 
     const ReservationTable &reservations() const { return rt_; }
 
   private:
     void ensureSize(OpId op) const;
+
+    /** Record a placement into a known-free instance. */
+    void placeAt(OpId op, Cycle cycle, ClusterId cluster,
+                 FuClass cls, int instance);
 
     const Ddg *ddg_;
     const MachineModel &machine_;
@@ -117,6 +147,15 @@ class PartialSchedule
     mutable std::vector<Cycle> last_time_;
     mutable std::vector<int> times_placed_;
     int scheduled_count_ = 0;
+
+    /** Epoch-stamped seen set for violatedSuccessors dedup. */
+    mutable std::vector<std::uint32_t> seen_epoch_;
+    mutable std::uint32_t epoch_ = 0;
+
+    /** Memoized maxTime; recomputed lazily after a demoting
+     * unschedule. */
+    mutable Cycle max_time_ = -1;
+    mutable bool max_time_dirty_ = false;
 };
 
 } // namespace dms

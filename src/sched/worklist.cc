@@ -1,0 +1,84 @@
+#include "sched/worklist.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "support/diag.h"
+
+namespace dms {
+
+void
+Worklist::build(const Ddg &ddg, const Heights &heights)
+{
+    const size_t n = static_cast<size_t>(ddg.numOps());
+    DMS_ASSERT(heights.size() >= n, "height table smaller than DDG");
+
+    std::int64_t min_h = 0;
+    std::int64_t max_h = 0;
+    bool first = true;
+    for (OpId id = 0; id < ddg.numOps(); ++id) {
+        if (!ddg.opLive(id))
+            continue;
+        std::int64_t h = heights[static_cast<size_t>(id)];
+        if (first || h < min_h)
+            min_h = h;
+        if (first || h > max_h)
+            max_h = h;
+        first = false;
+    }
+    const std::int64_t range = first ? 1 : max_h - min_h + 1;
+    DMS_ASSERT(range <= (1 << 24), "height range %lld too wide",
+               static_cast<long long>(range));
+
+    for (auto &b : buckets_)
+        b.clear();
+    buckets_.resize(static_cast<size_t>(range));
+    bucket_of_.assign(n, -1);
+    waiting_.assign(n, 0);
+    top_ = -1;
+    size_ = 0;
+
+    for (OpId id = 0; id < ddg.numOps(); ++id) {
+        if (!ddg.opLive(id))
+            continue;
+        bucket_of_[static_cast<size_t>(id)] = static_cast<std::int32_t>(
+            heights[static_cast<size_t>(id)] - min_h);
+        push(id);
+    }
+}
+
+void
+Worklist::push(OpId op)
+{
+    DMS_ASSERT(op >= 0 &&
+                   static_cast<size_t>(op) < bucket_of_.size() &&
+                   bucket_of_[static_cast<size_t>(op)] >= 0,
+               "push of op %d unknown to the worklist", op);
+    if (waiting_[static_cast<size_t>(op)])
+        return;
+    waiting_[static_cast<size_t>(op)] = 1;
+    const int bi = bucket_of_[static_cast<size_t>(op)];
+    auto &b = buckets_[static_cast<size_t>(bi)];
+    b.push_back(op);
+    std::push_heap(b.begin(), b.end(), std::greater<OpId>());
+    top_ = std::max(top_, bi);
+    ++size_;
+}
+
+OpId
+Worklist::pop()
+{
+    while (top_ >= 0 && buckets_[static_cast<size_t>(top_)].empty())
+        --top_;
+    if (top_ < 0)
+        return kInvalidOp;
+    auto &b = buckets_[static_cast<size_t>(top_)];
+    std::pop_heap(b.begin(), b.end(), std::greater<OpId>());
+    OpId op = b.back();
+    b.pop_back();
+    waiting_[static_cast<size_t>(op)] = 0;
+    --size_;
+    return op;
+}
+
+} // namespace dms

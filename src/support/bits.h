@@ -1,0 +1,33 @@
+#ifndef DMS_SUPPORT_BITS_H
+#define DMS_SUPPORT_BITS_H
+
+/**
+ * @file
+ * Word-level bit scans for the free-slot bitmasks of the modulo
+ * reservation table. C++17 has no <bit>, so the GCC/Clang builtins
+ * are used with a portable fallback.
+ */
+
+#include <cstdint>
+
+namespace dms {
+
+/** Index of the lowest set bit; @p v must be non-zero. */
+inline int
+countTrailingZeros(std::uint64_t v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_ctzll(v);
+#else
+    int n = 0;
+    while ((v & 1) == 0) {
+        v >>= 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
+} // namespace dms
+
+#endif // DMS_SUPPORT_BITS_H

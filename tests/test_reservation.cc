@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Invariant suite for the incremental reservation table: the O(1)
+ * free-instance masks, row bitmasks and free-slot counters must
+ * agree with a brute-force scan of the raw slots after any sequence
+ * of place/clear operations, and firstFreeCycle() must match the
+ * linear window probe it replaced.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.h"
+#include "machine/reservation.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace dms;
+
+/** Brute-force first free instance at (cluster, cls, row). */
+int
+bruteFreeInstance(const ReservationTable &rt,
+                  const MachineModel &machine, ClusterId c,
+                  FuClass cls, int row)
+{
+    for (int i = 0; i < machine.fusPerCluster(cls); ++i) {
+        if (rt.at(c, cls, i, row) == kInvalidOp)
+            return i;
+    }
+    return -1;
+}
+
+/** Brute-force free slots of (cluster, cls). */
+int
+bruteFreeSlotCount(const ReservationTable &rt,
+                   const MachineModel &machine, ClusterId c,
+                   FuClass cls)
+{
+    int n = 0;
+    for (int i = 0; i < machine.fusPerCluster(cls); ++i) {
+        for (int row = 0; row < rt.ii(); ++row) {
+            if (rt.at(c, cls, i, row) == kInvalidOp)
+                ++n;
+        }
+    }
+    return n;
+}
+
+/** Brute-force linear probe of [early, early + II). */
+Cycle
+bruteFirstFreeCycle(const ReservationTable &rt,
+                    const MachineModel &machine, ClusterId c,
+                    FuClass cls, Cycle early)
+{
+    for (Cycle t = early; t < early + rt.ii(); ++t) {
+        if (bruteFreeInstance(rt, machine, c, cls, t % rt.ii()) >= 0)
+            return t;
+    }
+    return kUnscheduled;
+}
+
+/** Check every derived structure against the raw slots. */
+void
+checkAllInvariants(const ReservationTable &rt,
+                   const MachineModel &machine)
+{
+    for (ClusterId c = 0; c < machine.numClusters(); ++c) {
+        for (int cl = 0; cl < kNumFuClasses; ++cl) {
+            FuClass cls = static_cast<FuClass>(cl);
+            ASSERT_EQ(rt.freeSlotCount(c, cls),
+                      bruteFreeSlotCount(rt, machine, c, cls))
+                << "freeSlotCount(c" << c << "," << fuClassName(cls)
+                << ")";
+            for (int row = 0; row < rt.ii(); ++row) {
+                int brute =
+                    bruteFreeInstance(rt, machine, c, cls, row);
+                ASSERT_EQ(rt.freeInstance(c, cls, row), brute)
+                    << "freeInstance(c" << c << ","
+                    << fuClassName(cls) << ",row" << row << ")";
+                ASSERT_EQ(rt.hasFree(c, cls, row), brute >= 0);
+            }
+            if (machine.fusPerCluster(cls) == 0)
+                continue;
+            for (Cycle early : {0, 1, rt.ii() - 1, rt.ii(),
+                                3 * rt.ii() + 1, 1000}) {
+                ASSERT_EQ(
+                    rt.firstFreeCycle(c, cls, early),
+                    bruteFirstFreeCycle(rt, machine, c, cls, early))
+                    << "firstFreeCycle(c" << c << ","
+                    << fuClassName(cls) << ",early" << early
+                    << ") at II " << rt.ii();
+            }
+        }
+    }
+}
+
+/** One occupied slot, for replayable randomized place/clear. */
+struct Occupied
+{
+    OpId op;
+    ClusterId cluster;
+    FuClass cls;
+    int instance;
+    int row;
+};
+
+/**
+ * Drive a random place/clear sequence, checking the invariants
+ * after every burst of mutations.
+ */
+void
+fuzzTable(const MachineModel &machine, int ii, std::uint64_t seed,
+          int steps)
+{
+    Rng rng(seed);
+    ReservationTable rt(machine, ii);
+    std::vector<Occupied> live;
+    OpId next_op = 0;
+
+    for (int s = 0; s < steps; ++s) {
+        bool place = live.empty() || rng.chance(0.6);
+        if (place) {
+            ClusterId c = rng.range(0, machine.numClusters() - 1);
+            FuClass cls =
+                static_cast<FuClass>(rng.range(0, kNumFuClasses - 1));
+            if (machine.fusPerCluster(cls) == 0)
+                continue;
+            int row = rng.range(0, ii - 1);
+            int inst = rt.freeInstance(c, cls, row);
+            if (inst < 0)
+                continue; // row full; try another step
+            OpId op = next_op++;
+            rt.place(op, c, cls, inst, row);
+            live.push_back({op, c, cls, inst, row});
+        } else {
+            size_t pick = static_cast<size_t>(
+                rng.range(0, static_cast<int>(live.size()) - 1));
+            Occupied o = live[pick];
+            live[pick] = live.back();
+            live.pop_back();
+            rt.clear(o.op, o.cluster, o.cls, o.instance, o.row);
+        }
+        if (s % 7 == 0)
+            checkAllInvariants(rt, machine);
+    }
+    checkAllInvariants(rt, machine);
+
+    // Reset must restore an all-free table at a new II and keep the
+    // invariants across a second fuzzing round.
+    int ii2 = (ii % 5) + 1;
+    rt.reset(ii2);
+    for (ClusterId c = 0; c < machine.numClusters(); ++c) {
+        for (int cl = 0; cl < kNumFuClasses; ++cl) {
+            FuClass cls = static_cast<FuClass>(cl);
+            EXPECT_EQ(rt.freeSlotCount(c, cls),
+                      machine.fusPerCluster(cls) * ii2);
+        }
+    }
+    checkAllInvariants(rt, machine);
+}
+
+TEST(ReservationInvariants, ClusteredSmallII)
+{
+    fuzzTable(MachineModel::clusteredRing(4), 3, 0x1234, 400);
+}
+
+TEST(ReservationInvariants, ClusteredMultiCopyUnits)
+{
+    fuzzTable(MachineModel::clusteredRing(3, 4), 5, 0x5678, 400);
+}
+
+TEST(ReservationInvariants, UnclusteredWide)
+{
+    fuzzTable(MachineModel::unclustered(8), 4, 0x9abc, 400);
+}
+
+TEST(ReservationInvariants, IiCrossesWordBoundary)
+{
+    // II 65 and 130 exercise multi-word row bitmasks, including the
+    // wrap-around scan of firstFreeCycle.
+    fuzzTable(MachineModel::clusteredRing(2), 65, 0xdef0, 600);
+    fuzzTable(MachineModel::clusteredRing(2), 130, 0x1357, 600);
+}
+
+TEST(ReservationInvariants, IiOne)
+{
+    fuzzTable(MachineModel::clusteredRing(2), 1, 0x2468, 100);
+}
+
+TEST(ReservationInvariants, FullRowThenWrap)
+{
+    // Deterministic corner: fill every Add row except a wrapped
+    // one and check the circular search lands there.
+    MachineModel m = MachineModel::clusteredRing(2);
+    ReservationTable rt(m, 4);
+    // Rows 1, 2, 3 of cluster 0's single adder occupied; row 0 free.
+    rt.place(10, 0, FuClass::Add, 0, 1);
+    rt.place(11, 0, FuClass::Add, 0, 2);
+    rt.place(12, 0, FuClass::Add, 0, 3);
+    // Searching from early = 2 must wrap past rows 2, 3 to row 0 at
+    // cycle 4.
+    EXPECT_EQ(rt.firstFreeCycle(0, FuClass::Add, 2), 4);
+    // From early = 0 the free row is immediate.
+    EXPECT_EQ(rt.firstFreeCycle(0, FuClass::Add, 0), 0);
+    rt.place(13, 0, FuClass::Add, 0, 0);
+    EXPECT_EQ(rt.firstFreeCycle(0, FuClass::Add, 0), kUnscheduled);
+    EXPECT_EQ(rt.firstFreeCycle(0, FuClass::Add, 7), kUnscheduled);
+    rt.clear(11, 0, FuClass::Add, 0, 2);
+    EXPECT_EQ(rt.firstFreeCycle(0, FuClass::Add, 3), 6);
+}
+
+} // namespace
