@@ -10,11 +10,21 @@
  *
  * Knobs: DMS_SUITE_COUNT (default 200 loops), DMS_HOTPATH_REPS
  * (default 3 timed repetitions; the fastest rep is reported).
+ *
+ * Regression gate: when DMS_HOTPATH_BASELINE names a previous
+ * BENCH_sched_hotpath.json, the run fails (exit 1) if either
+ * scheduler's placements_per_sec drops more than
+ * DMS_HOTPATH_MAX_DROP percent (default 15) below the baseline —
+ * the CI smoke step points this at the checked-in file.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/dms.h"
@@ -110,6 +120,68 @@ timeReps(const std::vector<Prepared> &work, int reps)
     return best;
 }
 
+/**
+ * Extract <object_key>.placements_per_sec from a baseline JSON
+ * (string scan; the file is our own single-line emission). Returns
+ * a negative value when the key is absent.
+ */
+double
+baselineRate(const std::string &json, const char *object_key)
+{
+    std::string object = strfmt("\"%s\":{", object_key);
+    size_t at = json.find(object);
+    if (at == std::string::npos)
+        return -1.0;
+    const char *field = "\"placements_per_sec\":";
+    size_t val = json.find(field, at);
+    if (val == std::string::npos)
+        return -1.0;
+    return std::strtod(json.c_str() + val + std::strlen(field),
+                       nullptr);
+}
+
+int
+maxDropPercentFromEnv()
+{
+    const char *s = std::getenv("DMS_HOTPATH_MAX_DROP");
+    if (s == nullptr)
+        return 15;
+    int v = 0;
+    if (!parseInt(s, v) || v >= 100) {
+        warn("DMS_HOTPATH_MAX_DROP='%s' is not a percentage below "
+             "100; using 15", s);
+        return 15;
+    }
+    return v;
+}
+
+/**
+ * Compare one measured rate against the baseline file. Returns
+ * false (after an error line) on a drop beyond the tolerance.
+ */
+bool
+gateAgainstBaseline(const char *key, double measured,
+                    const std::string &baseline_json, int max_drop)
+{
+    double base = baselineRate(baseline_json, key);
+    if (base <= 0) {
+        warn("baseline has no %s placements_per_sec; skipping gate",
+             key);
+        return true;
+    }
+    double floor = base * (100 - max_drop) / 100.0;
+    if (measured < floor) {
+        std::fprintf(stderr,
+                     "FAIL: %s placements_per_sec %.0f is more "
+                     "than %d%% below baseline %.0f (floor %.0f)\n",
+                     key, measured, max_drop, base, floor);
+        return false;
+    }
+    std::printf("gate: %s %.0f placements/s vs baseline %.0f "
+                "(floor %.0f) ok\n", key, measured, base, floor);
+    return true;
+}
+
 void
 appendThroughput(std::string &out, const char *key,
                  const Throughput &t)
@@ -131,6 +203,25 @@ main()
     using namespace dms;
     const int count = suiteCountFromEnv(200);
     const int reps = repsFromEnv(3);
+
+    // Read the baseline before anything writes the output file —
+    // CI points DMS_HOTPATH_BASELINE at the checked-in JSON, which
+    // this run will overwrite in place.
+    std::string baseline_json;
+    const char *baseline_path = std::getenv("DMS_HOTPATH_BASELINE");
+    if (baseline_path != nullptr) {
+        std::ifstream in(baseline_path);
+        if (!in) {
+            warn("cannot read baseline '%s'; gate disabled",
+                 baseline_path);
+            baseline_path = nullptr;
+        } else {
+            std::stringstream ss;
+            ss << in.rdbuf();
+            baseline_json = ss.str();
+        }
+    }
+
     std::vector<Loop> suite = standardSuite(kSuiteSeed, count);
     std::printf("sched_hotpath: %zu loops, %d reps\n", suite.size(),
                 reps);
@@ -188,5 +279,15 @@ main()
     std::fputc('\n', f);
     std::fclose(f);
     inform("wrote %s", path);
+
+    if (baseline_path != nullptr) {
+        const int max_drop = maxDropPercentFromEnv();
+        bool ok = gateAgainstBaseline("dms", dms_t.placementsPerSec(),
+                                      baseline_json, max_drop);
+        ok &= gateAgainstBaseline("ims", ims_t.placementsPerSec(),
+                                  baseline_json, max_drop);
+        if (!ok)
+            return 1;
+    }
     return 0;
 }

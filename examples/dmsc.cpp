@@ -1,6 +1,8 @@
 /**
  * @file
- * dmsc — a miniature compiler driver around the DMS library.
+ * dmsc — a miniature compiler driver around the DMS library,
+ * running the staged pipeline (unroll -> prepass -> mii ->
+ * schedule -> regalloc -> codegen -> verify -> perf) end to end.
  *
  * Usage:
  *   dmsc [options] <loop.ddg | kernel:NAME>
@@ -8,6 +10,10 @@
  * Options:
  *   --clusters N    ring size (default 4); 0 = unclustered IMS
  *   --copyfus N     copy units per cluster (default 1)
+ *   --machine FILE  machine description file (machine/desc.h
+ *                   format; overrides --clusters/--copyfus)
+ *   --sched NAME    registry scheduler (default: dms on clustered
+ *                   machines, ims otherwise)
  *   --unroll N      unroll factor; 0 = automatic policy (default)
  *   --emit          print the full pipelined code
  *   --dot           print the (transformed) DDG in Graphviz DOT
@@ -24,22 +30,28 @@
 #include <sstream>
 
 #include "codegen/emit.h"
-#include "codegen/perf.h"
-#include "core/dms.h"
+#include "core/pipeline.h"
 #include "ir/dot.h"
-#include "ir/prepass.h"
+#include "machine/desc.h"
 #include "regalloc/sharing.h"
-#include "sched/ims.h"
-#include "sched/verifier.h"
-#include "ir/unroll.h"
 #include "sim/exec.h"
 #include "support/diag.h"
 #include "workload/text.h"
-#include "workload/unroll_policy.h"
 
 namespace {
 
 using namespace dms;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
 
 Loop
 loadInput(const std::string &spec)
@@ -52,12 +64,7 @@ loadInput(const std::string &spec)
         }
         fatal("unknown kernel '%s'", name.c_str());
     }
-    std::ifstream in(spec);
-    if (!in)
-        fatal("cannot open '%s'", spec.c_str());
-    std::stringstream ss;
-    ss << in.rdbuf();
-    return loopFromText(ss.str());
+    return loopFromText(readFile(spec));
 }
 
 } // namespace
@@ -73,6 +80,8 @@ main(int argc, char **argv)
     bool emit = false;
     bool dot = false;
     bool share = false;
+    std::string machine_file;
+    std::string sched_name;
     std::string input;
 
     for (int i = 1; i < argc; ++i) {
@@ -86,6 +95,10 @@ main(int argc, char **argv)
             clusters = std::atoi(next().c_str());
         else if (a == "--copyfus")
             copy_fus = std::atoi(next().c_str());
+        else if (a == "--machine")
+            machine_file = next();
+        else if (a == "--sched")
+            sched_name = next();
         else if (a == "--unroll")
             unroll = std::atoi(next().c_str());
         else if (a == "--sim")
@@ -110,73 +123,72 @@ main(int argc, char **argv)
                 loop.tripCount,
                 loop.recurrence ? ", has recurrence" : "");
 
-    const bool clustered = clusters > 0;
     MachineModel machine =
-        clustered ? MachineModel::clusteredRing(clusters, copy_fus)
+        !machine_file.empty()
+            ? machineFromTextOrDie(readFile(machine_file))
+            : clusters > 0
+                  ? MachineModel::clusteredRing(clusters, copy_fus)
                   : MachineModel::unclustered(1);
     std::printf("machine: %s\n", machine.describe().c_str());
 
-    Ddg body = unroll > 1 ? unrollDdg(loop.ddg, unroll)
-               : unroll == 0
-                   ? applyUnrollPolicy(loop.ddg, machine)
-                   : loop.ddg;
-    if (body.unrollFactor() > 1)
-        std::printf("unrolled x%d (%d ops)\n", body.unrollFactor(),
-                    body.liveOpCount());
+    if (sched_name.empty())
+        sched_name = machine.clustered() ? "dms" : "ims";
 
-    const Ddg *sched_ddg = &body;
-    std::unique_ptr<PartialSchedule> schedule;
-    DmsOutcome dms_out;
-    if (clustered) {
-        PrepassStats pp = singleUsePrepass(
-            body, machine.latencyOf(Opcode::Copy));
-        if (pp.copiesInserted > 0)
-            std::printf("pre-pass: %d copies\n", pp.copiesInserted);
-        dms_out = scheduleDms(body, machine);
-        if (!dms_out.sched.ok)
-            fatal("DMS failed");
-        sched_ddg = dms_out.ddg.get();
-        schedule = std::move(dms_out.sched.schedule);
-        std::printf("DMS: II=%d (MII=%d), %d moves\n",
-                    dms_out.sched.ii, dms_out.sched.mii,
-                    dms_out.sched.movesInserted);
-    } else {
-        SchedOutcome out = scheduleIms(body, machine);
-        if (!out.ok)
-            fatal("IMS failed");
-        schedule = std::move(out.schedule);
-        std::printf("IMS: II=%d (MII=%d)\n", out.ii, out.mii);
-    }
-    checkSchedule(*sched_ddg, machine, *schedule);
+    PipelineOptions po;
+    po.scheduler = sched_name;
+    po.forceUnroll = unroll;
+    po.regalloc = true;
+    po.codegen = true;
+    Pipeline pipeline(po);
 
-    PipelinedLoop pipelined =
-        buildPipelinedLoop(*sched_ddg, *schedule);
-    long iters =
-        std::max<long>(1, loop.tripCount / body.unrollFactor());
-    LoopPerf perf = evaluatePerf(*sched_ddg, *schedule, iters);
+    std::string stages;
+    for (const std::string &s : pipeline.stageNames())
+        stages += stages.empty() ? s : " -> " + s;
+    std::printf("pipeline: %s (scheduler '%s')\n", stages.c_str(),
+                sched_name.c_str());
+
+    CompilationContext ctx;
+    if (!pipeline.run(loop, machine, ctx))
+        fatal("scheduler '%s' failed (MII %d)", sched_name.c_str(),
+              ctx.mii);
+
+    if (ctx.body.unrollFactor() > 1)
+        std::printf("unrolled x%d (%d ops)\n",
+                    ctx.body.unrollFactor(),
+                    ctx.body.liveOpCount());
+    if (ctx.prepass.copiesInserted > 0)
+        std::printf("pre-pass: %d copies\n",
+                    ctx.prepass.copiesInserted);
+    std::printf("%s: II=%d (MII=%d), %d moves\n", sched_name.c_str(),
+                ctx.result.sched.ii, ctx.result.sched.mii,
+                ctx.result.sched.movesInserted);
     std::printf("SC=%d, %ld cycles for %ld iterations, useful IPC "
                 "%.2f\n",
-                perf.stageCount, perf.cycles, iters, perf.ipc);
+                ctx.perf.stageCount, ctx.perf.cycles,
+                ctx.perf.iterations, ctx.perf.ipc);
 
+    const Ddg &sched_ddg = ctx.scheduledDdg();
+    const PartialSchedule &schedule = *ctx.result.sched.schedule;
     if (emit) {
-        std::printf("\n%s", emitPipelinedCode(*sched_ddg, machine,
-                                              pipelined)
+        std::printf("\n%s", emitPipelinedCode(sched_ddg, machine,
+                                              ctx.kernel)
                                 .c_str());
     }
     if (dot)
-        std::printf("\n%s", ddgToDot(*sched_ddg).c_str());
+        std::printf("\n%s", ddgToDot(sched_ddg).c_str());
     if (share) {
-        QueueAllocation qa =
-            allocateQueues(*sched_ddg, machine, *schedule);
-        SharedAllocation sa = shareQueues(qa, *sched_ddg, *schedule);
+        if (!ctx.queuesValid)
+            fatal("--share needs a queue-file ring machine");
+        SharedAllocation sa =
+            shareQueues(ctx.queues, sched_ddg, schedule);
         std::printf("\nqueues: %d before sharing, %d after "
                     "(%.0f%% fewer)\n",
                     sa.queuesBefore, sa.queuesAfter,
                     sa.reduction() * 100.0);
     }
     if (sim_iters > 0) {
-        auto problems = simulateAndCheck(*sched_ddg, machine,
-                                         *schedule, sim_iters);
+        auto problems = simulateAndCheck(sched_ddg, machine,
+                                         schedule, sim_iters);
         if (!problems.empty()) {
             for (const auto &p : problems)
                 std::printf("SIM PROBLEM: %s\n", p.c_str());

@@ -83,10 +83,11 @@ scheduleTwoPhase(const Ddg &ddg, const MachineModel &machine,
     }
 
     // Phase 1b: bridge every far edge with moves on the shortest
-    // ring path (ties toward +1).
+    // route (ring: ties toward direction +1).
     ChainRegistry chains;
     const int move_lat = machine.latencyOf(Opcode::Move);
     const int n_edges = work.numEdges(); // chains append edges
+    std::vector<ClusterId> path;
     for (EdgeId e = 0; e < n_edges; ++e) {
         if (!work.edgeActive(e) ||
             work.edge(e).kind != DepKind::Flow) {
@@ -98,12 +99,11 @@ scheduleTwoPhase(const Ddg &ddg, const MachineModel &machine,
             out.assignment[static_cast<size_t>(work.edge(e).dst)];
         if (machine.directlyConnected(cs, cd))
             continue;
-        int dir = machine.hopsAlong(cs, cd, +1) <=
-                          machine.hopsAlong(cs, cd, -1)
-                      ? +1
-                      : -1;
-        std::vector<ClusterId> path =
-            machine.pathBetween(cs, cd, dir);
+        int route = machine.routeLength(cs, cd, 0) <=
+                            machine.routeLength(cs, cd, 1)
+                        ? 0
+                        : 1;
+        machine.routeBetween(cs, cd, route, path);
         int cid = chains.create(work, e, path, move_lat);
         const Chain &ch = chains.chain(cid);
         out.assignment.resize(static_cast<size_t>(work.numOps()),

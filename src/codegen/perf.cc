@@ -5,21 +5,35 @@
 namespace dms {
 
 LoopPerf
-evaluatePerf(const Ddg &ddg, const PartialSchedule &ps,
-             long iterations)
+evaluateSchedulePerf(const Ddg &ddg, const PartialSchedule &ps,
+                     long iterations)
 {
     DMS_ASSERT(iterations >= 1, "need at least one iteration");
-    PipelinedLoop loop = buildPipelinedLoop(ddg, ps);
-
     LoopPerf perf;
-    perf.ii = loop.ii;
-    perf.stageCount = loop.stageCount;
+    perf.ii = ps.ii();
+    perf.stageCount = ps.maxTime() / ps.ii() + 1;
     perf.usefulOps = ddg.usefulOpCount();
     perf.iterations = iterations;
-    perf.cycles = loop.cyclesFor(iterations);
+    perf.cycles = (iterations + perf.stageCount - 1) *
+                  static_cast<long>(perf.ii);
     perf.ipc = static_cast<double>(perf.usefulOps) *
                static_cast<double>(iterations) /
                static_cast<double>(perf.cycles);
+    return perf;
+}
+
+LoopPerf
+evaluatePerf(const Ddg &ddg, const PartialSchedule &ps,
+             long iterations)
+{
+    LoopPerf perf = evaluateSchedulePerf(ddg, ps, iterations);
+    // Cross-check the shape-derived numbers against the built
+    // kernel: the two models must never drift apart.
+    PipelinedLoop loop = buildPipelinedLoop(ddg, ps);
+    DMS_ASSERT(loop.ii == perf.ii && loop.stageCount ==
+                   perf.stageCount &&
+                   loop.cyclesFor(iterations) == perf.cycles,
+               "kernel and schedule perf models diverged");
     return perf;
 }
 

@@ -40,6 +40,16 @@ struct LoopPerf
 LoopPerf evaluatePerf(const Ddg &ddg, const PartialSchedule &ps,
                       long iterations);
 
+/**
+ * Same numbers straight from the schedule shape, without building
+ * the kernel — the pipeline's perf stage, where codegen is
+ * optional. evaluatePerf delegates here so the ramp-up arithmetic
+ * lives once.
+ */
+LoopPerf evaluateSchedulePerf(const Ddg &ddg,
+                              const PartialSchedule &ps,
+                              long iterations);
+
 } // namespace dms
 
 #endif // DMS_CODEGEN_PERF_H

@@ -1,0 +1,185 @@
+#include "core/affinity.h"
+
+#include <numeric>
+
+#include "support/diag.h"
+
+namespace dms {
+
+void
+AffinityTracker::attach(Ddg &ddg, PartialSchedule &ps,
+                        const MachineModel &machine)
+{
+    DMS_ASSERT(ps.scheduledCount() == 0,
+               "affinity tracker attached mid-schedule");
+    ddg_ = &ddg;
+    ps_ = &ps;
+    machine_ = &machine;
+    nc_ = machine.numClusters();
+
+    dist3_.assign(static_cast<size_t>(nc_) * nc_, 0);
+    for (ClusterId a = 0; a < nc_; ++a) {
+        for (ClusterId b = 0; b < nc_; ++b) {
+            dist3_[static_cast<size_t>(a) * nc_ + b] =
+                3L * machine.distance(a, b);
+        }
+    }
+    rows_.assign(static_cast<size_t>(ddg.numOps()) * nc_, 0);
+
+    ddg.setListener(this);
+    ps.setListener(this);
+}
+
+void
+AffinityTracker::detach()
+{
+    if (ddg_ != nullptr && ddg_->listener() == this)
+        ddg_->setListener(nullptr);
+    if (ps_ != nullptr && ps_->listener() == this)
+        ps_->setListener(nullptr);
+    ddg_ = nullptr;
+    ps_ = nullptr;
+}
+
+long *
+AffinityTracker::row(OpId op)
+{
+    size_t need = (static_cast<size_t>(op) + 1) * nc_;
+    if (rows_.size() < need)
+        rows_.resize(need, 0); // moves appended since attach
+    return rows_.data() + static_cast<size_t>(op) * nc_;
+}
+
+const long *
+AffinityTracker::rowOf(OpId op) const
+{
+    return const_cast<AffinityTracker *>(this)->row(op);
+}
+
+void
+AffinityTracker::applyNeighbor(OpId of, ClusterId at, int sign)
+{
+    long *r = row(of);
+    const long *d = dist3_.data() + static_cast<size_t>(at) * nc_;
+    if (sign > 0) {
+        for (int c = 0; c < nc_; ++c)
+            r[c] += d[c];
+    } else {
+        for (int c = 0; c < nc_; ++c)
+            r[c] -= d[c];
+    }
+}
+
+void
+AffinityTracker::onPlace(OpId op, ClusterId cluster)
+{
+    const Operation &o = ddg_->op(op);
+    for (EdgeId e : o.ins) {
+        if (!ddg_->edgeActive(e) ||
+            ddg_->edge(e).kind != DepKind::Flow)
+            continue;
+        OpId src = ddg_->edge(e).src;
+        if (src != op)
+            applyNeighbor(src, cluster, +1);
+    }
+    for (EdgeId e : o.outs) {
+        if (!ddg_->edgeActive(e) ||
+            ddg_->edge(e).kind != DepKind::Flow)
+            continue;
+        OpId dst = ddg_->edge(e).dst;
+        if (dst != op)
+            applyNeighbor(dst, cluster, +1);
+    }
+}
+
+void
+AffinityTracker::onUnplace(OpId op, ClusterId cluster)
+{
+    const Operation &o = ddg_->op(op);
+    for (EdgeId e : o.ins) {
+        if (!ddg_->edgeActive(e) ||
+            ddg_->edge(e).kind != DepKind::Flow)
+            continue;
+        OpId src = ddg_->edge(e).src;
+        if (src != op)
+            applyNeighbor(src, cluster, -1);
+    }
+    for (EdgeId e : o.outs) {
+        if (!ddg_->edgeActive(e) ||
+            ddg_->edge(e).kind != DepKind::Flow)
+            continue;
+        OpId dst = ddg_->edge(e).dst;
+        if (dst != op)
+            applyNeighbor(dst, cluster, -1);
+    }
+}
+
+void
+AffinityTracker::onEdgeActivated(EdgeId e)
+{
+    const Edge &ed = ddg_->edge(e);
+    if (ed.kind != DepKind::Flow || ed.src == ed.dst)
+        return;
+    if (ps_->isScheduled(ed.src))
+        applyNeighbor(ed.dst, ps_->clusterOf(ed.src), +1);
+    if (ps_->isScheduled(ed.dst))
+        applyNeighbor(ed.src, ps_->clusterOf(ed.dst), +1);
+}
+
+void
+AffinityTracker::onEdgeDeactivated(EdgeId e)
+{
+    const Edge &ed = ddg_->edge(e);
+    if (ed.kind != DepKind::Flow || ed.src == ed.dst)
+        return;
+    if (ps_->isScheduled(ed.src))
+        applyNeighbor(ed.dst, ps_->clusterOf(ed.src), -1);
+    if (ps_->isScheduled(ed.dst))
+        applyNeighbor(ed.src, ps_->clusterOf(ed.dst), -1);
+}
+
+void
+AffinityTracker::order(OpId op, int rotate,
+                       std::vector<ClusterId> &out) const
+{
+    const int n = nc_;
+    const long *r = rowOf(op);
+    cost_.assign(static_cast<size_t>(n), 0);
+    for (int c = 0; c < n; ++c)
+        cost_[static_cast<size_t>(c)] = r[c];
+
+    // Load term, identical to clustersByAffinity: occupied slots of
+    // the op's own FU class.
+    FuClass cls = fuClassOf(ddg_->op(op).opc);
+    const int rows = ps_->ii() *
+                     std::max(1, machine_->fusPerCluster(cls));
+    for (ClusterId c = 0; c < n; ++c) {
+        int occupied =
+            machine_->fusPerCluster(cls) > 0
+                ? rows - ps_->reservations().freeSlotCount(c, cls)
+                : 0;
+        cost_[static_cast<size_t>(c)] += occupied;
+    }
+
+    out.resize(static_cast<size_t>(n));
+    std::iota(out.begin(), out.end(), 0);
+    auto less = [&](ClusterId a, ClusterId b) {
+        long ca = cost_[static_cast<size_t>(a)];
+        long cb = cost_[static_cast<size_t>(b)];
+        if (ca != cb)
+            return ca < cb;
+        return (a + rotate) % n < (b + rotate) % n;
+    };
+    for (int i = 1; i < n; ++i) {
+        ClusterId key = out[static_cast<size_t>(i)];
+        int j = i - 1;
+        while (j >= 0 && less(key, out[static_cast<size_t>(j)])) {
+            out[static_cast<size_t>(j + 1)] =
+                out[static_cast<size_t>(j)];
+            --j;
+        }
+        out[static_cast<size_t>(j + 1)] = key;
+    }
+}
+
+} // namespace dms

@@ -1,0 +1,97 @@
+#ifndef DMS_CORE_AFFINITY_H
+#define DMS_CORE_AFFINITY_H
+
+/**
+ * @file
+ * Incremental cluster-affinity bookkeeping for DMS. The per-op
+ * affinity cost (sum over scheduled flow neighbours of 3 x network
+ * distance, see clustersByAffinity in core/comm.h) used to be
+ * recomputed from the graph on every placement; this tracker
+ * maintains, for every operation, the per-cluster neighbour term
+ * under place/unschedule and chain splice/dissolve events, so one
+ * affinity query is O(clusters log clusters) regardless of the
+ * op's degree.
+ *
+ * Invariant (for every op x and cluster c):
+ *
+ *   row(x)[c] = sum over active flow edges (x, y), y != x,
+ *               y scheduled, of 3 * distance(c, cluster(y))
+ *
+ * maintained under four event types: op placed, op unscheduled
+ * (PlacementListener via PartialSchedule), edge activated, edge
+ * deactivated (DdgListener via Ddg — addEdge, removeEdge,
+ * markReplaced, unmarkReplaced all report). order() adds the same
+ * load term and applies the same rotated tie-break sort as
+ * clustersByAffinity, so the two produce bit-identical rankings —
+ * tests/test_affinity.cc fuzzes that equivalence.
+ */
+
+#include <vector>
+
+#include "ir/ddg.h"
+#include "machine/machine.h"
+#include "sched/schedule.h"
+
+namespace dms {
+
+/** Incremental replacement for per-placement clustersByAffinity. */
+class AffinityTracker final : public DdgListener,
+                              public PlacementListener
+{
+  public:
+    /**
+     * Bind to one (graph, schedule, machine) attempt and register
+     * as listener on @p ddg and @p ps. Every op must be unscheduled
+     * (the fresh-attempt state after Ddg::resetTo and
+     * PartialSchedule::reset); rows start at zero. Reuses the
+     * arenas of previous attachments.
+     */
+    void attach(Ddg &ddg, PartialSchedule &ps,
+                const MachineModel &machine);
+
+    /** Unregister from the graph and schedule. */
+    void detach();
+
+    /** @name Event sinks (fired by Ddg / PartialSchedule) */
+    /// @{
+    void onPlace(OpId op, ClusterId cluster) override;
+    void onUnplace(OpId op, ClusterId cluster) override;
+    void onEdgeActivated(EdgeId e) override;
+    void onEdgeDeactivated(EdgeId e) override;
+    /// @}
+
+    /**
+     * Clusters ordered exactly like clustersByAffinity(ddg, ps,
+     * machine, op, rotate): maintained neighbour cost plus the
+     * occupancy load term, stable-sorted with the rotated
+     * tie-break. Written into @p out (cleared first).
+     */
+    void order(OpId op, int rotate,
+               std::vector<ClusterId> &out) const;
+
+  private:
+    /** row(x) base pointer, growing the arena on demand. */
+    long *row(OpId op);
+    const long *rowOf(OpId op) const;
+
+    /** Add @p sign * 3 * distance(*, at) into row(of). */
+    void applyNeighbor(OpId of, ClusterId at, int sign);
+
+    Ddg *ddg_ = nullptr;
+    PartialSchedule *ps_ = nullptr;
+    const MachineModel *machine_ = nullptr;
+    int nc_ = 0;
+
+    /** 3 * distance(a, b), indexed a * nc_ + b. */
+    std::vector<long> dist3_;
+
+    /** Per-op neighbour cost rows, op-major, nc_ wide. */
+    mutable std::vector<long> rows_;
+
+    /** Scratch for order(): cost with the load term added. */
+    mutable std::vector<long> cost_;
+};
+
+} // namespace dms
+
+#endif // DMS_CORE_AFFINITY_H

@@ -10,18 +10,27 @@ ChainRegistry::create(Ddg &ddg, EdgeId edge,
                       int move_latency)
 {
     DMS_ASSERT(!path.empty(), "chain needs at least one move");
+    return create(ddg, edge, path.data(),
+                  static_cast<int>(path.size()), move_latency);
+}
+
+int
+ChainRegistry::create(Ddg &ddg, EdgeId edge, const ClusterId *path,
+                      int path_len, int move_latency)
+{
+    DMS_ASSERT(path_len >= 1, "chain needs at least one move");
     const Edge orig = ddg.edge(edge);
     DMS_ASSERT(orig.kind == DepKind::Flow && !orig.replaced,
                "chaining a non-flow or already chained edge");
 
     Chain c;
     c.originalEdge = edge;
-    c.clusters = path;
+    c.clusters.assign(path, path + path_len);
 
     ddg.markReplaced(edge);
 
     OpId prev = orig.src;
-    for (size_t i = 0; i < path.size(); ++i) {
+    for (size_t i = 0; i < static_cast<size_t>(path_len); ++i) {
         OpId mv = ddg.addOp(Opcode::Move, OpOrigin::MoveOp);
         // Moves forward the producer's value; keep the ultimate
         // origin so simulator live-in values line up.

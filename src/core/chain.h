@@ -71,6 +71,13 @@ class ChainRegistry
                const std::vector<ClusterId> &path, int move_latency);
 
     /**
+     * Span form of create() for callers that keep paths in a flat
+     * plan arena (DMS strategy 2) instead of one vector per chain.
+     */
+    int create(Ddg &ddg, EdgeId edge, const ClusterId *path,
+               int path_len, int move_latency);
+
+    /**
      * Dissolve a chain: unschedule any still-scheduled move, remove
      * the moves and spliced edges from the DDG and restore the
      * original edge. Does not touch the producer or consumer.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/affinity.h"
 #include "core/chain.h"
 #include "core/comm.h"
 #include "sched/mii.h"
@@ -14,11 +15,54 @@ namespace dms {
 namespace {
 
 /**
+ * Strategy-2 chain plan held in one flat arena: chain i bridges
+ * edge[i] with the intermediate clusters
+ * clusters[offsets[i] .. offsets[i+1]). Two instances (candidate
+ * and best-so-far) are swapped instead of copied, so planning
+ * allocates nothing in steady state.
+ */
+struct ChainPlan
+{
+    std::vector<EdgeId> edges;
+    std::vector<int> offsets;
+    std::vector<ClusterId> clusters;
+
+    void
+    clear()
+    {
+        edges.clear();
+        offsets.assign(1, 0);
+        clusters.clear();
+    }
+
+    int chainCount() const { return static_cast<int>(edges.size()); }
+
+    int
+    pathLen(int i) const
+    {
+        return offsets[static_cast<size_t>(i) + 1] -
+               offsets[static_cast<size_t>(i)];
+    }
+
+    const ClusterId *
+    path(int i) const
+    {
+        return clusters.data() + offsets[static_cast<size_t>(i)];
+    }
+
+    int totalMoves() const
+    {
+        return static_cast<int>(clusters.size());
+    }
+};
+
+/**
  * DMS state reused across every (II, restart) attempt of one
  * scheduling run: the scratch graph, the partial schedule, the
- * chain registry, the height table, the priority worklist and the
- * per-placement scratch vectors all live in one arena that
- * beginAttempt() re-shapes without reallocating.
+ * chain registry, the height table, the priority worklist, the
+ * incremental affinity rows and the per-placement scratch vectors
+ * all live in one arena that beginAttempt() re-shapes without
+ * reallocating.
  */
 class DmsAttempt
 {
@@ -40,6 +84,7 @@ class DmsAttempt
         ddg_->resetTo(original_);
         ps_->reset(ii);
         chains_.reset();
+        affinity_tracker_.attach(*ddg_, *ps_, machine_);
         computeHeights(*ddg_, ii, heights_);
         worklist_.build(*ddg_, heights_);
     }
@@ -61,9 +106,17 @@ class DmsAttempt
         return true;
     }
 
-    std::unique_ptr<Ddg> takeDdg() { return std::move(ddg_); }
-    std::unique_ptr<PartialSchedule> takeSchedule()
+    std::unique_ptr<Ddg>
+    takeDdg()
     {
+        ddg_->setListener(nullptr); // tracker dies with the attempt
+        return std::move(ddg_);
+    }
+
+    std::unique_ptr<PartialSchedule>
+    takeSchedule()
+    {
+        ps_->setListener(nullptr);
         return std::move(ps_);
     }
 
@@ -88,9 +141,9 @@ class DmsAttempt
         // failed strategy 1 mutates nothing, and a failed
         // strategy 2 dissolves every chain it placed, so the
         // schedule state the ranking depends on is identical at
-        // each strategy entry.
-        clustersByAffinity(*ddg_, *ps_, machine_, op, variant_,
-                           aff_scratch_, affinity_);
+        // each strategy entry. The ranking itself comes from the
+        // incrementally maintained tracker rows.
+        affinity_tracker_.order(op, variant_, affinity_);
         if (strategy1(op))
             return;
         if (params_.enableChains && strategy2(op))
@@ -121,13 +174,6 @@ class DmsAttempt
         return false;
     }
 
-    /** A direction option for bridging one far predecessor. */
-    struct ChainOption
-    {
-        EdgeId edge = kInvalidEdge;
-        std::vector<ClusterId> path;
-    };
-
     /**
      * Strategy 2: chains of moves toward every far predecessor
      * (paper figure 3). Returns false if no candidate cluster can
@@ -147,14 +193,9 @@ class DmsAttempt
                 rt.freeSlotCount(c, FuClass::Copy);
         }
 
-        struct Candidate
-        {
-            ClusterId cluster = kInvalidCluster;
-            std::vector<ChainOption> chains;
-            int minFreeAfter = -1;
-            int totalMoves = 0;
-        };
-        Candidate best;
+        ClusterId best_cluster = kInvalidCluster;
+        int best_min_free = -1;
+        int best_moves = 0;
 
         for (ClusterId c : affinity_) {
             if (!succsOkAt(*ddg_, *ps_, machine_, op, c))
@@ -165,66 +206,64 @@ class DmsAttempt
                 continue; // strategy 1 territory; resources failed
 
             claimed_.assign(static_cast<size_t>(nc), 0);
-            std::vector<ChainOption> plan;
+            plan_.clear();
             bool feasible = true;
             for (EdgeId e : far_edges_) {
-                ChainOption opt = planOneChain(e, c);
-                if (opt.path.empty()) {
+                if (!planOneChain(e, c)) {
                     feasible = false;
                     break;
                 }
-                for (ClusterId x : opt.path)
-                    ++claimed_[static_cast<size_t>(x)];
-                plan.push_back(std::move(opt));
+                const int i = plan_.chainCount() - 1;
+                const ClusterId *path = plan_.path(i);
+                for (int k = 0; k < plan_.pathLen(i); ++k)
+                    ++claimed_[static_cast<size_t>(path[k])];
             }
             if (!feasible)
                 continue;
 
             int min_free = INT32_MAX;
-            int moves = 0;
             for (ClusterId x = 0; x < nc; ++x) {
                 min_free = std::min(
                     min_free,
                     base_free_[static_cast<size_t>(x)] -
                         claimed_[static_cast<size_t>(x)]);
             }
-            for (const ChainOption &o : plan)
-                moves += static_cast<int>(o.path.size());
+            const int moves = plan_.totalMoves();
 
-            bool better = best.cluster == kInvalidCluster ||
-                          min_free > best.minFreeAfter ||
-                          (min_free == best.minFreeAfter &&
-                           moves < best.totalMoves);
+            bool better = best_cluster == kInvalidCluster ||
+                          min_free > best_min_free ||
+                          (min_free == best_min_free &&
+                           moves < best_moves);
             if (better) {
-                best.cluster = c;
-                best.chains = std::move(plan);
-                best.minFreeAfter = min_free;
-                best.totalMoves = moves;
+                best_cluster = c;
+                std::swap(best_plan_, plan_);
+                best_min_free = min_free;
+                best_moves = moves;
             }
         }
 
-        if (best.cluster == kInvalidCluster)
+        if (best_cluster == kInvalidCluster)
             return false;
-        return commitStrategy2(op, best.cluster, best.chains);
+        return commitStrategy2(op, best_cluster, best_plan_);
     }
 
     /**
-     * Pick a direction for one chain, honouring slots already
-     * claimed (in claimed_) by sibling chains of the same
-     * candidate. Empty path in the result means neither direction
-     * fits.
+     * Pick a route for one chain, honouring slots already claimed
+     * (in claimed_) by sibling chains of the same candidate, and
+     * append it to plan_. Returns false when no route fits. Route
+     * alternatives and scratch paths come from the machine's
+     * topology (ring: the two directions of paper figure 3).
      */
-    ChainOption
-    planOneChain(EdgeId e, ClusterId target) const
+    bool
+    planOneChain(EdgeId e, ClusterId target)
     {
         ClusterId from = ps_->clusterOf(ddg_->edge(e).src);
-        ChainOption best;
-        best.edge = e;
+        const std::vector<ClusterId> *best_path = nullptr;
         int best_min_free = -1;
 
-        for (int dir : {+1, -1}) {
-            std::vector<ClusterId> path =
-                machine_.pathBetween(from, target, dir);
+        for (int r = 0; r < MachineModel::kNumRoutes; ++r) {
+            std::vector<ClusterId> &path = route_scratch_[r];
+            machine_.routeBetween(from, target, r, path);
             if (path.empty())
                 continue; // would be adjacent; not a far edge
             bool fits = true;
@@ -242,35 +281,44 @@ class DmsAttempt
                 continue;
 
             bool better;
-            if (best.path.empty()) {
+            if (best_path == nullptr) {
                 better = true;
             } else if (params_.chainRule ==
                        ChainSelectRule::MaxFreeSlots) {
                 better = min_free > best_min_free ||
                          (min_free == best_min_free &&
-                          path.size() < best.path.size());
+                          path.size() < best_path->size());
             } else {
-                better = path.size() < best.path.size();
+                better = path.size() < best_path->size();
             }
             if (better) {
-                best.path = std::move(path);
+                best_path = &path;
                 best_min_free = min_free;
             }
         }
-        return best;
+        if (best_path == nullptr)
+            return false;
+
+        plan_.edges.push_back(e);
+        plan_.clusters.insert(plan_.clusters.end(),
+                              best_path->begin(), best_path->end());
+        plan_.offsets.push_back(
+            static_cast<int>(plan_.clusters.size()));
+        return true;
     }
 
     /** Splice and schedule the chosen chains, then place OP. */
     bool
     commitStrategy2(OpId op, ClusterId cluster,
-                    const std::vector<ChainOption> &plan)
+                    const ChainPlan &plan)
     {
         const int move_lat = machine_.latencyOf(Opcode::Move);
         created_.clear();
 
-        for (const ChainOption &opt : plan) {
-            int cid =
-                chains_.create(*ddg_, opt.edge, opt.path, move_lat);
+        for (int i = 0; i < plan.chainCount(); ++i) {
+            EdgeId bridged = plan.edges[static_cast<size_t>(i)];
+            int cid = chains_.create(*ddg_, bridged, plan.path(i),
+                                     plan.pathLen(i), move_lat);
             created_.push_back(cid);
             const Chain &ch = chains_.chain(cid);
 
@@ -279,7 +327,7 @@ class DmsAttempt
             // treat it as critical as the value it forwards.
             heights_.resize(static_cast<size_t>(ddg_->numOps()), 0);
             std::int64_t h = heights_[static_cast<size_t>(
-                ddg_->edge(opt.edge).src)];
+                ddg_->edge(bridged).src)];
             for (OpId mv : ch.moves)
                 heights_[static_cast<size_t>(mv)] = h;
 
@@ -287,14 +335,14 @@ class DmsAttempt
             // starting from the first one after the original
             // producer". Feasibility was verified above, so a free
             // slot exists in every intermediate cluster.
-            for (size_t i = 0; i < ch.moves.size(); ++i) {
-                OpId mv = ch.moves[i];
+            for (size_t k = 0; k < ch.moves.size(); ++k) {
+                OpId mv = ch.moves[k];
                 Cycle early = std::max<Cycle>(0, ps_->earlyStart(mv));
                 Cycle slot =
-                    ps_->findFreeSlot(mv, ch.clusters[i], early);
+                    ps_->findFreeSlot(mv, ch.clusters[k], early);
                 DMS_ASSERT(slot != kUnscheduled,
                            "chain feasibility miscounted");
-                bool ok = ps_->tryPlace(mv, slot, ch.clusters[i]);
+                bool ok = ps_->tryPlace(mv, slot, ch.clusters[k]);
                 DMS_ASSERT(ok, "chain slot vanished");
             }
         }
@@ -457,6 +505,7 @@ class DmsAttempt
     ChainRegistry chains_;
     Heights heights_;
     Worklist worklist_;
+    AffinityTracker affinity_tracker_;
 
     /** Per-placement scratch, reused to stay allocation-free. */
     std::vector<OpId> evicted_;
@@ -464,11 +513,13 @@ class DmsAttempt
     std::vector<OpId> peers_;
     std::vector<EdgeId> far_edges_;
     std::vector<ClusterId> affinity_;
-    AffinityScratch aff_scratch_;
     std::vector<int> base_free_;
     std::vector<int> claimed_;
     std::vector<int> created_;
     std::vector<int> touching_;
+    ChainPlan plan_;
+    ChainPlan best_plan_;
+    std::vector<ClusterId> route_scratch_[MachineModel::kNumRoutes];
 };
 
 } // namespace
@@ -482,8 +533,10 @@ scheduleDms(const Ddg &ddg, const MachineModel &machine,
                "the unclustered model");
 
     DmsOutcome out;
-    out.sched.resMii = resMii(ddg, machine);
-    out.sched.recMii = recMii(ddg);
+    out.sched.resMii = params.knownResMii >= 0 ? params.knownResMii
+                                               : resMii(ddg, machine);
+    out.sched.recMii = params.knownRecMii >= 0 ? params.knownRecMii
+                                               : recMii(ddg);
     out.sched.mii = std::max(out.sched.resMii, out.sched.recMii);
     int max_ii = params.maxII > 0 ? params.maxII
                                   : defaultMaxII(out.sched.mii);

@@ -79,6 +79,14 @@ struct DmsParams
 
     ChainSelectRule chainRule = ChainSelectRule::MaxFreeSlots;
     S3ClusterPolicy s3Policy = S3ClusterPolicy::PreferCommOk;
+
+    /**
+     * Precomputed MII bounds (see SchedParams): -1 computes
+     * internally, >= 0 must equal resMii()/recMii() on the same
+     * body and machine.
+     */
+    int knownResMii = -1;
+    int knownRecMii = -1;
 };
 
 /** DMS result: the schedule plus the transformed (spliced) DDG. */

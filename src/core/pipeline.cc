@@ -1,0 +1,198 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "ir/unroll.h"
+#include "sched/mii.h"
+#include "sched/verifier.h"
+#include "support/diag.h"
+#include "workload/unroll_policy.h"
+
+namespace dms {
+
+Scheduler &
+CompilationContext::scheduler(const std::string &name)
+{
+    auto it = schedulers_.find(name);
+    if (it == schedulers_.end()) {
+        std::unique_ptr<Scheduler> s =
+            SchedulerRegistry::instance().create(name);
+        if (s == nullptr)
+            fatal("unknown scheduler '%s' (registered: %s)",
+                  name.c_str(),
+                  [] {
+                      std::string all;
+                      for (const std::string &n :
+                           SchedulerRegistry::instance().names()) {
+                          if (!all.empty())
+                              all += ", ";
+                          all += n;
+                      }
+                      return all;
+                  }()
+                      .c_str());
+        it = schedulers_.emplace(name, std::move(s)).first;
+    }
+    return *it->second;
+}
+
+namespace {
+
+long
+iterationsFor(const Loop &loop, int unroll_factor)
+{
+    long iters =
+        (loop.tripCount + unroll_factor - 1) / unroll_factor;
+    return std::max<long>(iters, 1);
+}
+
+bool
+stageUnroll(const PipelineOptions &opts, const Loop &loop,
+            const MachineModel &machine, CompilationContext &ctx)
+{
+    if (opts.forceUnroll >= 1) {
+        if (opts.forceUnroll == 1)
+            ctx.body.resetTo(loop.ddg);
+        else
+            ctx.body = unrollDdg(loop.ddg, opts.forceUnroll);
+    } else {
+        applyUnrollPolicy(loop.ddg, machine, ctx.body,
+                          opts.unrollMaxFactor, opts.unrollMaxOps);
+    }
+    ctx.iterations = iterationsFor(loop, ctx.body.unrollFactor());
+    return true;
+}
+
+bool
+stagePrepass(const PipelineOptions &, const Loop &,
+             const MachineModel &machine, CompilationContext &ctx)
+{
+    ctx.prepass = PrepassStats{};
+    if (machine.regFileKind() == RegFileKind::Queues) {
+        ctx.prepass = singleUsePrepass(
+            ctx.body, machine.latencyOf(Opcode::Copy));
+    }
+    return true;
+}
+
+bool
+stageMii(const PipelineOptions &, const Loop &,
+         const MachineModel &machine, CompilationContext &ctx)
+{
+    ctx.resMii = resMii(ctx.body, machine);
+    ctx.recMii = recMii(ctx.body);
+    ctx.mii = std::max(ctx.resMii, ctx.recMii);
+    return true;
+}
+
+bool
+stageSchedule(const PipelineOptions &opts, const Loop &,
+              const MachineModel &machine, CompilationContext &ctx)
+{
+    Scheduler &sched = ctx.scheduler(opts.scheduler);
+    if (!sched.supports(machine)) {
+        fatal("scheduler '%s' does not support machine '%s'",
+              sched.name(), machine.describe().c_str());
+    }
+    // Hand the MII stage's bounds down so the scheduler does not
+    // re-derive them; the values are from the same resMii/recMii
+    // calls it would make itself.
+    SchedulerConfig config = opts.config;
+    config.base.knownResMii = ctx.resMii;
+    config.base.knownRecMii = ctx.recMii;
+    config.dms.knownResMii = ctx.resMii;
+    config.dms.knownRecMii = ctx.recMii;
+    ctx.result = sched.schedule(ctx.body, machine, config);
+    return ctx.result.sched.ok;
+}
+
+bool
+stageRegalloc(const PipelineOptions &, const Loop &,
+              const MachineModel &machine, CompilationContext &ctx)
+{
+    ctx.queuesValid = false;
+    // Queue allocation models LRF/CQRF files, which exist on
+    // queue-file ring machines only.
+    if (machine.regFileKind() == RegFileKind::Queues &&
+        machine.topology() == TopologyKind::Ring) {
+        ctx.queues = allocateQueues(ctx.scheduledDdg(), machine,
+                                    *ctx.result.sched.schedule);
+        ctx.queuesValid = true;
+    }
+    return true;
+}
+
+bool
+stageCodegen(const PipelineOptions &, const Loop &,
+             const MachineModel &, CompilationContext &ctx)
+{
+    ctx.kernel = buildPipelinedLoop(ctx.scheduledDdg(),
+                                    *ctx.result.sched.schedule);
+    ctx.kernelValid = true;
+    return true;
+}
+
+bool
+stageVerify(const PipelineOptions &, const Loop &,
+            const MachineModel &machine, CompilationContext &ctx)
+{
+    checkSchedule(ctx.scheduledDdg(), machine,
+                  *ctx.result.sched.schedule);
+    return true;
+}
+
+bool
+stagePerf(const PipelineOptions &, const Loop &,
+          const MachineModel &, CompilationContext &ctx)
+{
+    ctx.perf = evaluateSchedulePerf(ctx.scheduledDdg(),
+                                    *ctx.result.sched.schedule,
+                                    ctx.iterations);
+    ctx.perfValid = true;
+    return true;
+}
+
+} // namespace
+
+Pipeline::Pipeline(PipelineOptions options)
+    : opts_(std::move(options))
+{
+    stages_.push_back({"unroll", stageUnroll});
+    stages_.push_back({"prepass", stagePrepass});
+    stages_.push_back({"mii", stageMii});
+    stages_.push_back({"schedule", stageSchedule});
+    if (opts_.regalloc)
+        stages_.push_back({"regalloc", stageRegalloc});
+    if (opts_.codegen)
+        stages_.push_back({"codegen", stageCodegen});
+    if (opts_.verify)
+        stages_.push_back({"verify", stageVerify});
+    if (opts_.perf)
+        stages_.push_back({"perf", stagePerf});
+}
+
+std::vector<std::string>
+Pipeline::stageNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(stages_.size());
+    for (const Stage &s : stages_)
+        out.emplace_back(s.name);
+    return out;
+}
+
+bool
+Pipeline::run(const Loop &loop, const MachineModel &machine,
+              CompilationContext &ctx) const
+{
+    ctx.queuesValid = false;
+    ctx.kernelValid = false;
+    ctx.perfValid = false;
+    for (const Stage &stage : stages_) {
+        if (!stage.fn(opts_, loop, machine, ctx))
+            return false;
+    }
+    return true;
+}
+
+} // namespace dms

@@ -4,86 +4,112 @@
 #include <cstdlib>
 #include <memory>
 
-#include "ir/prepass.h"
-#include "sched/verifier.h"
+#include "machine/desc.h"
 #include "support/diag.h"
 #include "support/strings.h"
 #include "support/thread_pool.h"
-#include "workload/unroll_policy.h"
 
 namespace dms {
 
 namespace {
 
-long
-iterationsFor(const Loop &loop, int unroll_factor)
+/** Pipeline options for one sweep column. */
+PipelineOptions
+columnOptions(const std::string &scheduler,
+              const RunnerOptions &opts)
 {
-    long iters = (loop.tripCount + unroll_factor - 1) /
-                 unroll_factor;
-    return std::max<long>(iters, 1);
+    PipelineOptions po;
+    po.scheduler = scheduler;
+    po.config.base = opts.ims;
+    po.config.dms = opts.dms;
+    po.verify = opts.verify;
+    po.perf = true;
+    return po;
 }
 
-void
-fillPerf(LoopRun &run, const Ddg &ddg, const PartialSchedule &ps)
+/** Instantiate a column's machine for one cluster count. */
+MachineModel
+columnMachine(const std::string &tmpl, int clusters)
 {
-    run.stageCount = ps.maxTime() / ps.ii() + 1;
-    run.cycles = (run.iterations + run.stageCount - 1) *
-                 static_cast<long>(ps.ii());
-    run.usefulIssues =
-        static_cast<long>(ddg.usefulOpCount()) * run.iterations;
+    MachineModel m = MachineModel::unclustered(1);
+    std::string error;
+    if (!machineFromText(expandMachineTemplate(tmpl, clusters), m,
+                         error)) {
+        fatal("bad machine template (clusters=%d): %s", clusters,
+              error.c_str());
+    }
+    return m;
+}
+
+/** Config-error check before a sweep spends any scheduling time. */
+void
+checkColumn(const std::string &scheduler, const MachineModel &m)
+{
+    std::unique_ptr<Scheduler> s =
+        SchedulerRegistry::instance().create(scheduler);
+    if (s == nullptr) {
+        fatal("unknown scheduler '%s'", scheduler.c_str());
+    }
+    if (!s->supports(m)) {
+        fatal("scheduler '%s' does not support machine '%s'",
+              scheduler.c_str(), m.describe().c_str());
+    }
 }
 
 } // namespace
 
 LoopRun
+runLoop(const Pipeline &pipeline, const Loop &loop,
+        const MachineModel &machine, CompilationContext &ctx)
+{
+    bool ok = pipeline.run(loop, machine, ctx);
+
+    LoopRun run;
+    run.unrollFactor = ctx.body.unrollFactor();
+    run.copiesInserted = ctx.prepass.copiesInserted;
+    run.iterations = ctx.iterations;
+    run.ok = ok;
+    run.mii = ctx.result.sched.mii;
+    if (!ok)
+        return run;
+    run.ii = ctx.result.sched.ii;
+    run.movesInserted = ctx.result.sched.movesInserted;
+    // Contexts are reused across cells: stale perf numbers from a
+    // perf-less pipeline must not leak into this run's LoopRun.
+    DMS_ASSERT(ctx.perfValid,
+               "runLoop needs a pipeline with the perf stage");
+    run.stageCount = ctx.perf.stageCount;
+    run.cycles = ctx.perf.cycles;
+    run.usefulIssues = static_cast<long>(ctx.perf.usefulOps) *
+                       ctx.iterations;
+    return run;
+}
+
+LoopRun
 runLoopUnclustered(const Loop &loop, int width_clusters,
                    const SchedParams &params, bool verify)
 {
-    MachineModel machine = MachineModel::unclustered(width_clusters);
-    Ddg body = applyUnrollPolicy(loop.ddg, machine);
-
-    LoopRun run;
-    run.unrollFactor = body.unrollFactor();
-    run.iterations = iterationsFor(loop, run.unrollFactor);
-
-    SchedOutcome out = scheduleIms(body, machine, params);
-    run.ok = out.ok;
-    run.mii = out.mii;
-    if (!out.ok)
-        return run;
-    run.ii = out.ii;
-    if (verify)
-        checkSchedule(body, machine, *out.schedule);
-    fillPerf(run, body, *out.schedule);
-    return run;
+    RunnerOptions opts;
+    opts.ims = params;
+    opts.verify = verify;
+    Pipeline pipeline(columnOptions("ims", opts));
+    CompilationContext ctx;
+    return runLoop(pipeline, loop,
+                   MachineModel::unclustered(width_clusters), ctx);
 }
 
 LoopRun
 runLoopClustered(const Loop &loop, int clusters,
                  const DmsParams &params, bool verify, int copy_fus)
 {
-    MachineModel machine =
-        MachineModel::clusteredRing(clusters, copy_fus);
-    Ddg body = applyUnrollPolicy(loop.ddg, machine);
-    PrepassStats pp = singleUsePrepass(
-        body, machine.latencyOf(Opcode::Copy));
-
-    LoopRun run;
-    run.unrollFactor = body.unrollFactor();
-    run.copiesInserted = pp.copiesInserted;
-    run.iterations = iterationsFor(loop, run.unrollFactor);
-
-    DmsOutcome out = scheduleDms(body, machine, params);
-    run.ok = out.sched.ok;
-    run.mii = out.sched.mii;
-    if (!out.sched.ok)
-        return run;
-    run.ii = out.sched.ii;
-    run.movesInserted = out.sched.movesInserted;
-    if (verify)
-        checkSchedule(*out.ddg, machine, *out.sched.schedule);
-    fillPerf(run, *out.ddg, *out.sched.schedule);
-    return run;
+    RunnerOptions opts;
+    opts.dms = params;
+    opts.verify = verify;
+    Pipeline pipeline(columnOptions("dms", opts));
+    CompilationContext ctx;
+    return runLoop(pipeline, loop,
+                   MachineModel::clusteredRing(clusters, copy_fus),
+                   ctx);
 }
 
 std::vector<ConfigRun>
@@ -104,6 +130,31 @@ runMatrix(const std::vector<Loop> &suite, const RunnerOptions &opts)
     if (configs == 0 || loops == 0)
         return matrix;
 
+    // Instantiate every machine of the sweep up front (config
+    // errors surface before any scheduling happens) and pre-check
+    // scheduler/machine compatibility.
+    std::vector<MachineModel> unclustered_machines;
+    std::vector<MachineModel> clustered_machines;
+    unclustered_machines.reserve(configs);
+    clustered_machines.reserve(configs);
+    for (size_t ci = 0; ci < configs; ++ci) {
+        const int c = static_cast<int>(ci) + 1;
+        unclustered_machines.push_back(
+            columnMachine(opts.unclusteredMachine, c));
+        clustered_machines.push_back(
+            columnMachine(opts.clusteredMachine, c));
+    }
+    for (size_t ci = 0; ci < configs; ++ci) {
+        checkColumn(opts.unclusteredScheduler,
+                    unclustered_machines[ci]);
+        checkColumn(opts.clusteredScheduler, clustered_machines[ci]);
+    }
+
+    const Pipeline unclustered_pipe(
+        columnOptions(opts.unclusteredScheduler, opts));
+    const Pipeline clustered_pipe(
+        columnOptions(opts.clusteredScheduler, opts));
+
     // Per-config countdown for thread-safe progress: a config line
     // prints exactly when its last cell (of 2 * loops) retires.
     std::unique_ptr<std::atomic<size_t>[]> remaining;
@@ -117,18 +168,29 @@ runMatrix(const std::vector<Loop> &suite, const RunnerOptions &opts)
     // so the two runs of one loop land near each other in time.
     const size_t cells = configs * loops * 2;
     ThreadPool pool(opts.jobs);
-    pool.parallelFor(cells, [&](size_t cell) {
+
+    // One compilation context per worker slot: each context's body
+    // graph and scheduler arenas are reused across all the cells
+    // that worker executes, with no locking.
+    std::vector<CompilationContext> contexts(
+        static_cast<size_t>(pool.jobs()));
+
+    pool.parallelForWorker(cells, [&](size_t cell, int worker) {
         const size_t ci = cell / (loops * 2);
         const size_t rest = cell % (loops * 2);
         const size_t li = rest / 2;
         const bool clustered = (rest % 2) != 0;
         const int c = static_cast<int>(ci) + 1;
+        CompilationContext &ctx =
+            contexts[static_cast<size_t>(worker)];
         if (clustered) {
-            matrix[ci].clustered[li] = runLoopClustered(
-                suite[li], c, opts.dms, opts.verify);
+            matrix[ci].clustered[li] =
+                runLoop(clustered_pipe, suite[li],
+                        clustered_machines[ci], ctx);
         } else {
-            matrix[ci].unclustered[li] = runLoopUnclustered(
-                suite[li], c, opts.ims, opts.verify);
+            matrix[ci].unclustered[li] =
+                runLoop(unclustered_pipe, suite[li],
+                        unclustered_machines[ci], ctx);
         }
         if (opts.progress &&
             remaining[ci].fetch_sub(1) == 1) {

@@ -4,14 +4,24 @@
 /**
  * @file
  * Experiment runner shared by all bench binaries: schedules every
- * loop of a suite on the clustered machine (DMS) and the
- * equal-width unclustered machine (IMS), after the same unrolling,
- * exactly like the paper's figures 4-6 setup.
+ * loop of a suite on a clustered machine and an equal-width
+ * unclustered machine, after the same unrolling, exactly like the
+ * paper's figures 4-6 setup.
+ *
+ * The sweep is configuration, not code: each column names a
+ * scheduler from the registry ("dms", "ims", "twophase", ...) and a
+ * declarative machine template (machine/desc.h) whose `$C`
+ * placeholder is expanded per cluster count. The defaults reproduce
+ * the paper's setup (DMS on a queue-file ring vs IMS on the
+ * equal-width conventional machine); every cell runs the staged
+ * pipeline of core/pipeline.h.
  */
 
+#include <string>
 #include <vector>
 
 #include "core/dms.h"
+#include "core/pipeline.h"
 #include "workload/suite.h"
 
 namespace dms {
@@ -78,12 +88,45 @@ operator!=(const ConfigRun &a, const ConfigRun &b)
     return !(a == b);
 }
 
+/**
+ * The paper's clustered machine as a sweep template: a `$C`-cluster
+ * queue-file ring with 1 L/S + 1 ADD + 1 MUL + 1 copy unit per
+ * cluster (identical to MachineModel::clusteredRing($C)).
+ */
+inline constexpr char kClusteredMachineTemplate[] =
+    "clusters $C\n"
+    "topology ring\n"
+    "regfile queues\n"
+    "fus ldst=1 add=1 mul=1 copy=1\n";
+
+/**
+ * The equal-width unclustered reference as a sweep template
+ * (identical to MachineModel::unclustered($C)).
+ */
+inline constexpr char kUnclusteredMachineTemplate[] =
+    "clusters 1\n"
+    "topology ring\n"
+    "regfile conventional\n"
+    "fus ldst=$C add=$C mul=$C copy=0\n";
+
 /** Runner switches. */
 struct RunnerOptions
 {
     int maxClusters = 10;
     DmsParams dms;
     SchedParams ims;
+
+    /**
+     * Registry scheduler and machine template of the "clustered"
+     * column. The template is a machine/desc.h description whose
+     * `$C` expands to the config's cluster count.
+     */
+    std::string clusteredScheduler = "dms";
+    std::string clusteredMachine = kClusteredMachineTemplate;
+
+    /** Same for the "unclustered" reference column. */
+    std::string unclusteredScheduler = "ims";
+    std::string unclusteredMachine = kUnclusteredMachineTemplate;
 
     /** Verify every schedule (panic on an illegal one). */
     bool verify = true;
@@ -101,6 +144,14 @@ struct RunnerOptions
      */
     int jobs = 0;
 };
+
+/**
+ * Run the staged pipeline for one loop and summarize the context
+ * into a LoopRun — the cell primitive every sweep builds on.
+ */
+LoopRun runLoop(const Pipeline &pipeline, const Loop &loop,
+                const MachineModel &machine,
+                CompilationContext &ctx);
 
 /** Schedule one loop with IMS on the unclustered width-C machine. */
 LoopRun runLoopUnclustered(const Loop &loop, int width_clusters,

@@ -40,7 +40,9 @@ Ddg::resetTo(const Ddg &original)
     // Vector copy-assignment reuses the destination buffers when
     // capacity allows — including the per-operation ins/outs
     // vectors of the common prefix — which is what makes repeated
-    // attempts allocation-free in steady state.
+    // attempts allocation-free in steady state. An attached
+    // listener survives (and fires nothing); it must rebuild its
+    // own state after the reset.
     ops_ = original.ops_;
     edges_ = original.edges_;
     live_ops_ = original.live_ops_;
@@ -78,6 +80,8 @@ Ddg::addEdge(OpId src, OpId dst, DepKind kind, int distance,
     EdgeId id = static_cast<EdgeId>(edges_.size()) - 1;
     ops_[static_cast<size_t>(src)].outs.push_back(id);
     ops_[static_cast<size_t>(dst)].ins.push_back(id);
+    if (listener_ != nullptr)
+        listener_->onEdgeActivated(id);
     return id;
 }
 
@@ -86,6 +90,8 @@ Ddg::removeEdge(EdgeId eid)
 {
     Edge &e = edge(eid);
     DMS_ASSERT(!e.dead, "removing dead edge %d", eid);
+    if (listener_ != nullptr && !e.replaced)
+        listener_->onEdgeDeactivated(eid);
     auto unlink = [eid](std::vector<EdgeId> &v) {
         auto it = std::find(v.begin(), v.end(), eid);
         DMS_ASSERT(it != v.end(), "edge %d missing from adjacency",
@@ -115,6 +121,8 @@ Ddg::markReplaced(EdgeId eid)
     Edge &e = edge(eid);
     DMS_ASSERT(!e.dead && !e.replaced, "bad replace of edge %d", eid);
     DMS_ASSERT(e.kind == DepKind::Flow, "replacing non-flow edge");
+    if (listener_ != nullptr)
+        listener_->onEdgeDeactivated(eid);
     e.replaced = true;
 }
 
@@ -124,6 +132,8 @@ Ddg::unmarkReplaced(EdgeId eid)
     Edge &e = edge(eid);
     DMS_ASSERT(!e.dead && e.replaced, "bad unreplace of edge %d", eid);
     e.replaced = false;
+    if (listener_ != nullptr)
+        listener_->onEdgeActivated(eid);
 }
 
 const Operation &

@@ -1,0 +1,303 @@
+#include "machine/desc.h"
+
+#include <array>
+#include <vector>
+
+#include "support/diag.h"
+#include "support/strings.h"
+
+namespace dms {
+
+namespace {
+
+/** Whitespace-split one line into tokens. */
+std::vector<std::string>
+tokenize(std::string_view line)
+{
+    std::vector<std::string> toks;
+    size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() &&
+               (line[i] == ' ' || line[i] == '\t'))
+            ++i;
+        size_t start = i;
+        while (i < line.size() && line[i] != ' ' && line[i] != '\t')
+            ++i;
+        if (i > start)
+            toks.emplace_back(line.substr(start, i - start));
+    }
+    return toks;
+}
+
+/** "key=value" split; false if there is no '='. */
+bool
+splitKeyValue(const std::string &tok, std::string &key,
+              std::string &value)
+{
+    size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0 ||
+        eq + 1 >= tok.size()) {
+        return false;
+    }
+    key = tok.substr(0, eq);
+    value = tok.substr(eq + 1);
+    return true;
+}
+
+bool
+opcodeByName(const std::string &name, Opcode &out)
+{
+    for (int i = 0; i < kNumOpcodes; ++i) {
+        if (name == opcodeName(static_cast<Opcode>(i))) {
+            out = static_cast<Opcode>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+fuClassByKey(const std::string &key, FuClass &out)
+{
+    if (key == "ldst") {
+        out = FuClass::LdSt;
+    } else if (key == "add") {
+        out = FuClass::Add;
+    } else if (key == "mul") {
+        out = FuClass::Mul;
+    } else if (key == "copy") {
+        out = FuClass::Copy;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Mutable parse state; committed to a MachineModel at the end. */
+struct ParseState
+{
+    std::string name;
+    int clusters = 1;
+    TopologyKind topo = TopologyKind::Ring;
+    int meshRows = 0;
+    int meshCols = 0;
+    RegFileKind regfile = RegFileKind::Conventional;
+    std::array<int, kNumFuClasses> fus = {1, 1, 1, 0};
+    LatencyModel lat;
+
+    bool sawMachine = false;
+    bool sawClusters = false;
+    bool sawTopology = false;
+    bool sawRegfile = false;
+    bool sawFus = false;
+};
+
+} // namespace
+
+bool
+machineFromText(const std::string &text, MachineModel &out,
+                std::string &error)
+{
+    ParseState st;
+    int lineno = 0;
+    auto fail = [&](const std::string &msg) {
+        error = strfmt("line %d: %s", lineno, msg.c_str());
+        return false;
+    };
+
+    for (std::string line : split(text, '\n')) {
+        ++lineno;
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::vector<std::string> toks = tokenize(line);
+        if (toks.empty())
+            continue;
+        const std::string &key = toks[0];
+
+        if (key == "machine") {
+            if (st.sawMachine)
+                return fail("duplicate 'machine'");
+            if (toks.size() != 2)
+                return fail("'machine' takes exactly one name");
+            st.name = toks[1];
+            st.sawMachine = true;
+        } else if (key == "clusters") {
+            if (st.sawClusters)
+                return fail("duplicate 'clusters'");
+            int v = 0;
+            if (toks.size() != 2 || !parseInt(toks[1], v) || v < 1)
+                return fail("'clusters' needs a positive integer");
+            st.clusters = v;
+            st.sawClusters = true;
+        } else if (key == "topology") {
+            if (st.sawTopology)
+                return fail("duplicate 'topology'");
+            st.sawTopology = true;
+            if (toks.size() == 2 && toks[1] == "ring") {
+                st.topo = TopologyKind::Ring;
+            } else if (toks.size() == 2 && toks[1] == "crossbar") {
+                st.topo = TopologyKind::Crossbar;
+            } else if (toks.size() == 3 && toks[1] == "mesh") {
+                st.topo = TopologyKind::Mesh;
+                std::vector<std::string> dims =
+                    split(toks[2], 'x');
+                int r = 0, c = 0;
+                if (dims.size() != 2 || !parseInt(dims[0], r) ||
+                    !parseInt(dims[1], c) || r < 1 || c < 1) {
+                    return fail("mesh dims must be RxC, e.g. "
+                                "'topology mesh 2x3'");
+                }
+                st.meshRows = r;
+                st.meshCols = c;
+            } else {
+                return fail("topology must be 'ring', 'crossbar' "
+                            "or 'mesh RxC'");
+            }
+        } else if (key == "regfile") {
+            if (st.sawRegfile)
+                return fail("duplicate 'regfile'");
+            st.sawRegfile = true;
+            if (toks.size() == 2 && toks[1] == "queues") {
+                st.regfile = RegFileKind::Queues;
+            } else if (toks.size() == 2 &&
+                       toks[1] == "conventional") {
+                st.regfile = RegFileKind::Conventional;
+            } else {
+                return fail("regfile must be 'queues' or "
+                            "'conventional'");
+            }
+        } else if (key == "fus") {
+            if (st.sawFus)
+                return fail("duplicate 'fus'");
+            st.sawFus = true;
+            if (toks.size() < 2)
+                return fail("'fus' needs class=count entries");
+            for (size_t i = 1; i < toks.size(); ++i) {
+                std::string k, v;
+                FuClass cls;
+                int n = 0;
+                if (!splitKeyValue(toks[i], k, v))
+                    return fail(strfmt("malformed fus entry '%s'",
+                                       toks[i].c_str()));
+                if (!fuClassByKey(k, cls))
+                    return fail(strfmt("unknown FU class '%s' "
+                                       "(ldst|add|mul|copy)",
+                                       k.c_str()));
+                if (!parseInt(v, n) || n > 64)
+                    return fail(strfmt("FU count '%s' out of range "
+                                       "[0, 64]", v.c_str()));
+                st.fus[static_cast<size_t>(cls)] = n;
+            }
+        } else if (key == "latency") {
+            if (toks.size() < 2)
+                return fail("'latency' needs opcode=cycles entries");
+            for (size_t i = 1; i < toks.size(); ++i) {
+                std::string k, v;
+                Opcode opc;
+                int n = 0;
+                if (!splitKeyValue(toks[i], k, v))
+                    return fail(strfmt("malformed latency entry "
+                                       "'%s'", toks[i].c_str()));
+                if (!opcodeByName(k, opc))
+                    return fail(strfmt("unknown opcode '%s'",
+                                       k.c_str()));
+                if (!parseInt(v, n))
+                    return fail(strfmt("latency '%s' is not a "
+                                       "non-negative integer",
+                                       v.c_str()));
+                st.lat.set(opc, n);
+            }
+        } else {
+            return fail(strfmt("unknown key '%s'", key.c_str()));
+        }
+    }
+
+    // Shape validation mirrors MachineModel::custom() but reports
+    // instead of panicking: this is user input. The product is
+    // taken in 64 bits — RxC near INT_MAX must not wrap around
+    // into a value that happens to pass the comparison.
+    if (st.topo == TopologyKind::Mesh &&
+        static_cast<long long>(st.meshRows) * st.meshCols !=
+            st.clusters) {
+        error = strfmt("mesh %dx%d does not cover %d clusters",
+                       st.meshRows, st.meshCols, st.clusters);
+        return false;
+    }
+    if (st.regfile == RegFileKind::Queues && st.clusters > 1 &&
+        st.fus[static_cast<size_t>(FuClass::Copy)] < 1) {
+        error = "a multi-cluster queue-file machine needs copy "
+                "units (fus copy=...)";
+        return false;
+    }
+
+    out = MachineModel::custom(st.clusters, st.regfile, st.fus,
+                               st.topo, st.meshRows, st.meshCols);
+    out.latency() = st.lat;
+    out.setName(st.name);
+    return true;
+}
+
+MachineModel
+machineFromTextOrDie(const std::string &text)
+{
+    MachineModel m = MachineModel::unclustered(1);
+    std::string error;
+    if (!machineFromText(text, m, error))
+        fatal("bad machine description: %s", error.c_str());
+    return m;
+}
+
+std::string
+machineToText(const MachineModel &machine)
+{
+    std::string out;
+    if (!machine.name().empty())
+        out += strfmt("machine %s\n", machine.name().c_str());
+    out += strfmt("clusters %d\n", machine.numClusters());
+    if (machine.topology() == TopologyKind::Mesh) {
+        out += strfmt("topology mesh %dx%d\n", machine.meshRows(),
+                      machine.meshCols());
+    } else {
+        out += strfmt("topology %s\n",
+                      topologyName(machine.topology()));
+    }
+    out += strfmt("regfile %s\n",
+                  machine.regFileKind() == RegFileKind::Queues
+                      ? "queues"
+                      : "conventional");
+    out += strfmt("fus ldst=%d add=%d mul=%d copy=%d\n",
+                  machine.fusPerCluster(FuClass::LdSt),
+                  machine.fusPerCluster(FuClass::Add),
+                  machine.fusPerCluster(FuClass::Mul),
+                  machine.fusPerCluster(FuClass::Copy));
+    const LatencyModel defaults;
+    for (int i = 0; i < kNumOpcodes; ++i) {
+        Opcode opc = static_cast<Opcode>(i);
+        if (machine.latencyOf(opc) != defaults.of(opc)) {
+            out += strfmt("latency %s=%d\n", opcodeName(opc),
+                          machine.latencyOf(opc));
+        }
+    }
+    return out;
+}
+
+std::string
+expandMachineTemplate(std::string_view tmpl, int clusters)
+{
+    std::string out;
+    out.reserve(tmpl.size() + 8);
+    const std::string value = strfmt("%d", clusters);
+    for (size_t i = 0; i < tmpl.size(); ++i) {
+        if (tmpl[i] == '$' && i + 1 < tmpl.size() &&
+            tmpl[i + 1] == 'C') {
+            out += value;
+            ++i;
+        } else {
+            out += tmpl[i];
+        }
+    }
+    return out;
+}
+
+} // namespace dms

@@ -4,35 +4,74 @@
 
 namespace dms {
 
+const char *
+topologyName(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::Ring: return "ring";
+      case TopologyKind::Mesh: return "mesh";
+      case TopologyKind::Crossbar: return "crossbar";
+      default: break;
+    }
+    panic("bad topology kind %d", static_cast<int>(kind));
+}
+
 MachineModel
 MachineModel::clusteredRing(int clusters, int copy_fus)
 {
     DMS_ASSERT(clusters >= 1, "need at least one cluster");
     DMS_ASSERT(copy_fus >= 1, "clustered machine needs copy units");
-    MachineModel m;
-    m.num_clusters_ = clusters;
-    m.rf_kind_ = RegFileKind::Queues;
-    m.fus_per_cluster_[static_cast<int>(FuClass::LdSt)] = 1;
-    m.fus_per_cluster_[static_cast<int>(FuClass::Add)] = 1;
-    m.fus_per_cluster_[static_cast<int>(FuClass::Mul)] = 1;
-    m.fus_per_cluster_[static_cast<int>(FuClass::Copy)] = copy_fus;
-    return m;
+    return custom(clusters, RegFileKind::Queues,
+                  {1, 1, 1, copy_fus});
 }
 
 MachineModel
 MachineModel::unclustered(int width_clusters)
 {
     DMS_ASSERT(width_clusters >= 1, "need positive width");
+    return custom(1, RegFileKind::Conventional,
+                  {width_clusters, width_clusters, width_clusters, 0});
+}
+
+MachineModel
+MachineModel::custom(int clusters, RegFileKind rf_kind,
+                     const std::array<int, kNumFuClasses>
+                         &fus_per_cluster,
+                     TopologyKind topology, int mesh_rows,
+                     int mesh_cols)
+{
+    DMS_ASSERT(clusters >= 1, "need at least one cluster");
+    for (int cls = 0; cls < kNumFuClasses; ++cls) {
+        // The reservation table tracks free instances in one 64-bit
+        // mask per (cluster, class, row).
+        DMS_ASSERT(fus_per_cluster[static_cast<size_t>(cls)] >= 0 &&
+                       fus_per_cluster[static_cast<size_t>(cls)] <= 64,
+                   "FU count %d out of range for class %s",
+                   fus_per_cluster[static_cast<size_t>(cls)],
+                   fuClassName(static_cast<FuClass>(cls)));
+    }
+    DMS_ASSERT(rf_kind != RegFileKind::Queues || clusters == 1 ||
+                   fus_per_cluster[static_cast<size_t>(
+                       FuClass::Copy)] >= 1,
+               "a multi-cluster queue-file machine needs copy units");
+
     MachineModel m;
-    m.num_clusters_ = 1;
-    m.rf_kind_ = RegFileKind::Conventional;
-    m.fus_per_cluster_[static_cast<int>(FuClass::LdSt)] =
-        width_clusters;
-    m.fus_per_cluster_[static_cast<int>(FuClass::Add)] =
-        width_clusters;
-    m.fus_per_cluster_[static_cast<int>(FuClass::Mul)] =
-        width_clusters;
-    m.fus_per_cluster_[static_cast<int>(FuClass::Copy)] = 0;
+    m.num_clusters_ = clusters;
+    m.rf_kind_ = rf_kind;
+    m.fus_per_cluster_ = fus_per_cluster;
+    m.topo_ = topology;
+    if (topology == TopologyKind::Mesh) {
+        DMS_ASSERT(mesh_rows >= 1 && mesh_cols >= 1 &&
+                       static_cast<long long>(mesh_rows) *
+                               mesh_cols == clusters,
+                   "mesh %dx%d does not cover %d clusters",
+                   mesh_rows, mesh_cols, clusters);
+        m.mesh_rows_ = mesh_rows;
+        m.mesh_cols_ = mesh_cols;
+    } else {
+        m.mesh_rows_ = 1;
+        m.mesh_cols_ = clusters;
+    }
     return m;
 }
 
@@ -59,11 +98,47 @@ std::string
 MachineModel::describe() const
 {
     if (clustered()) {
-        return strfmt("%d-cluster ring (%d useful FUs, %d copy/cl)",
-                      num_clusters_, usefulFuCount(),
+        if (topo_ == TopologyKind::Mesh) {
+            return strfmt("%d-cluster %dx%d mesh (%d useful FUs, "
+                          "%d copy/cl)",
+                          num_clusters_, mesh_rows_, mesh_cols_,
+                          usefulFuCount(),
+                          fusPerCluster(FuClass::Copy));
+        }
+        return strfmt("%d-cluster %s (%d useful FUs, %d copy/cl)",
+                      num_clusters_, topologyName(topo_),
+                      usefulFuCount(),
                       fusPerCluster(FuClass::Copy));
     }
     return strfmt("unclustered (%d useful FUs)", usefulFuCount());
+}
+
+bool
+operator==(const MachineModel &a, const MachineModel &b)
+{
+    if (a.numClusters() != b.numClusters() ||
+        a.regFileKind() != b.regFileKind() ||
+        a.topology() != b.topology() || a.name() != b.name()) {
+        return false;
+    }
+    if (a.topology() == TopologyKind::Mesh &&
+        (a.meshRows() != b.meshRows() ||
+         a.meshCols() != b.meshCols())) {
+        return false;
+    }
+    for (int cls = 0; cls < kNumFuClasses; ++cls) {
+        if (a.fusPerCluster(static_cast<FuClass>(cls)) !=
+            b.fusPerCluster(static_cast<FuClass>(cls))) {
+            return false;
+        }
+    }
+    for (int opc = 0; opc < kNumOpcodes; ++opc) {
+        if (a.latencyOf(static_cast<Opcode>(opc)) !=
+            b.latencyOf(static_cast<Opcode>(opc))) {
+            return false;
+        }
+    }
+    return true;
 }
 
 } // namespace dms

@@ -4,12 +4,18 @@
 /**
  * @file
  * Machine description for the clustered VLIW architecture of paper
- * section 2: a collection of clusters connected in a bidirectional
- * ring, each with a small set of functional units and a private
- * queue register file (LRF), adjacent clusters communicating through
- * Communication Queue Register Files (CQRFs). The same description
- * also expresses the unclustered reference machine (one cluster, a
- * conventional multi-read register file, no copy units).
+ * section 2: a collection of clusters connected by an inter-cluster
+ * network, each with a small set of functional units and a private
+ * queue register file (LRF), connected clusters communicating
+ * through Communication Queue Register Files (CQRFs). The same
+ * description also expresses the unclustered reference machine (one
+ * cluster, a conventional multi-read register file, no copy units).
+ *
+ * The paper evaluates a bidirectional ring; the topology here is a
+ * *parameter* of the model (ring, torus mesh, or full crossbar), so
+ * alternative interconnects are data rather than code. A machine can
+ * also be built from a small declarative text format — see
+ * machine/desc.h.
  */
 
 #include <array>
@@ -31,14 +37,24 @@ enum class RegFileKind : std::uint8_t {
     Queues,        ///< LRF/CQRF queue files (the paper's proposal)
 };
 
-/** Machine configuration and ring topology. */
+/** Inter-cluster network shape. */
+enum class TopologyKind : std::uint8_t {
+    Ring,      ///< bidirectional ring (the paper's configuration)
+    Mesh,      ///< 2-D torus mesh, dimension-order routed
+    Crossbar,  ///< full crossbar: every pair directly connected
+};
+
+/** Lower-case topology mnemonic, e.g. "ring". */
+const char *topologyName(TopologyKind kind);
+
+/** Machine configuration and topology. */
 class MachineModel
 {
   public:
     /**
-     * The paper's clustered configuration: @p clusters clusters,
-     * each with 1 L/S + 1 ADD + 1 MUL plus @p copy_fus copy units
-     * (1 in the paper; more models the "additional hardware
+     * The paper's clustered configuration: @p clusters clusters in a
+     * ring, each with 1 L/S + 1 ADD + 1 MUL plus @p copy_fus copy
+     * units (1 in the paper; more models the "additional hardware
      * support" the conclusions suggest).
      */
     static MachineModel clusteredRing(int clusters, int copy_fus = 1);
@@ -49,6 +65,21 @@ class MachineModel
      * file, no copy units, no communication constraints.
      */
     static MachineModel unclustered(int width_clusters);
+
+    /**
+     * Fully general constructor behind the declarative description:
+     * any cluster count, register-file kind, per-cluster FU mix and
+     * topology. For @c TopologyKind::Mesh, @p mesh_rows x
+     * @p mesh_cols must equal @p clusters; the dims are ignored for
+     * other topologies. Panics on invalid shapes (the text parser in
+     * machine/desc.h validates first and reports line numbers).
+     */
+    static MachineModel custom(int clusters, RegFileKind rf_kind,
+                               const std::array<int, kNumFuClasses>
+                                   &fus_per_cluster,
+                               TopologyKind topology =
+                                   TopologyKind::Ring,
+                               int mesh_rows = 0, int mesh_cols = 0);
 
     /** @name Shape */
     /// @{
@@ -64,6 +95,10 @@ class MachineModel
 
     /** Total useful FUs (excludes copy units), the paper's x-axis. */
     int usefulFuCount() const;
+
+    /** Optional name from the machine description ("" if unnamed). */
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
     /// @}
 
     /** @name Latencies */
@@ -73,18 +108,57 @@ class MachineModel
     int latencyOf(Opcode opc) const { return lat_.of(opc); }
     /// @}
 
-    /** @name Ring topology */
+    /** @name Topology */
     /// @{
 
-    /** Minimal hop count between clusters (over either direction). */
-    int ringDistance(ClusterId a, ClusterId b) const;
+    TopologyKind topology() const { return topo_; }
+    int meshRows() const { return mesh_rows_; }
+    int meshCols() const { return mesh_cols_; }
+
+    /** Minimal hop count between clusters. */
+    int distance(ClusterId a, ClusterId b) const;
+
+    /** Legacy name for distance() from the ring-only model. */
+    int ringDistance(ClusterId a, ClusterId b) const
+    {
+        return distance(a, b);
+    }
 
     /**
-     * Directly connected: same cluster or ring neighbours. A flow
+     * Directly connected: same cluster or network neighbours. A flow
      * dependence between directly connected clusters needs no move
      * operations (it maps onto the LRF or one CQRF).
      */
     bool directlyConnected(ClusterId a, ClusterId b) const;
+
+    /**
+     * Deterministic route alternatives between two clusters (paper
+     * figure 3 shows the ring's two options). Every topology offers
+     * kNumRoutes candidate routes; some may coincide.
+     *
+     *  - ring: route 0 walks direction +1, route 1 direction -1;
+     *  - mesh: route 0 is column-first, route 1 row-first
+     *    dimension-order (torus-shortest per dimension, ties +1);
+     *  - crossbar: both routes are the direct hop (no intermediates).
+     */
+    static constexpr int kNumRoutes = 2;
+
+    /** Hops a route takes from @p a to @p b. */
+    int routeLength(ClusterId a, ClusterId b, int route) const;
+
+    /**
+     * Clusters strictly between @p a and @p b along @p route — the
+     * clusters whose copy units must host the move operations of a
+     * chain from a producer in @p a to a consumer in @p b. Written
+     * into @p out (cleared first); allocation-free when @p out has
+     * capacity.
+     */
+    void routeBetween(ClusterId a, ClusterId b, int route,
+                      std::vector<ClusterId> &out) const;
+
+    /// @}
+    /** @name Ring-specific queries (assert TopologyKind::Ring) */
+    /// @{
 
     /** Hops from @p a to @p b walking in @p dir (+1 or -1). */
     int hopsAlong(ClusterId a, ClusterId b, int dir) const;
@@ -93,11 +167,13 @@ class MachineModel
     ClusterId neighbor(ClusterId c, int dir) const;
 
     /**
-     * Clusters strictly between @p a and @p b walking in @p dir —
-     * the clusters whose copy units must host the move operations
-     * of a chain from a producer in @p a to a consumer in @p b
-     * (paper figure 3 shows the two options).
+     * Ring form of routeBetween: clusters strictly between @p a and
+     * @p b walking in @p dir (+1 or -1), written into @p out.
      */
+    void pathBetween(ClusterId a, ClusterId b, int dir,
+                     std::vector<ClusterId> &out) const;
+
+    /** Allocating convenience overload of the above. */
     std::vector<ClusterId> pathBetween(ClusterId a, ClusterId b,
                                        int dir) const;
     /// @}
@@ -110,9 +186,24 @@ class MachineModel
 
     int num_clusters_ = 1;
     RegFileKind rf_kind_ = RegFileKind::Conventional;
+    TopologyKind topo_ = TopologyKind::Ring;
+    int mesh_rows_ = 1;
+    int mesh_cols_ = 1;
     std::array<int, kNumFuClasses> fus_per_cluster_ = {1, 1, 1, 0};
     LatencyModel lat_;
+    std::string name_;
 };
+
+/**
+ * Structural equality (shape, topology, latencies and name) — what
+ * the description round-trip tests compare.
+ */
+bool operator==(const MachineModel &a, const MachineModel &b);
+inline bool
+operator!=(const MachineModel &a, const MachineModel &b)
+{
+    return !(a == b);
+}
 
 } // namespace dms
 

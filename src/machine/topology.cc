@@ -1,29 +1,77 @@
-#include "machine/machine.h"
+/**
+ * @file
+ * Topology queries of the machine model. The paper's machine is a
+ * bidirectional ring; mesh (2-D torus, dimension-order routed) and
+ * full-crossbar variants are expressed by the same API so that the
+ * interconnect is configuration data, not scheduler code. Every
+ * topology answers distance / direct-connectivity queries plus
+ * kNumRoutes deterministic route alternatives (what DMS strategy 2
+ * chooses between).
+ */
 
 #include <algorithm>
 
+#include "machine/machine.h"
 #include "support/diag.h"
 
 namespace dms {
 
+namespace {
+
+/** Torus hop count along one dimension of size n. */
 int
-MachineModel::ringDistance(ClusterId a, ClusterId b) const
+torusDelta(int a, int b, int n)
+{
+    int d = std::abs(a - b);
+    return std::min(d, n - d);
+}
+
+/**
+ * Step direction (+1/-1) that shortens |from -> to| on a torus
+ * dimension of size n, ties toward +1.
+ */
+int
+torusStep(int from, int to, int n)
+{
+    int fwd = ((to - from) % n + n) % n;
+    int bwd = ((from - to) % n + n) % n;
+    return fwd <= bwd ? +1 : -1;
+}
+
+} // namespace
+
+int
+MachineModel::distance(ClusterId a, ClusterId b) const
 {
     DMS_ASSERT(a >= 0 && a < num_clusters_, "bad cluster %d", a);
     DMS_ASSERT(b >= 0 && b < num_clusters_, "bad cluster %d", b);
-    int d = std::abs(a - b);
-    return std::min(d, num_clusters_ - d);
+    switch (topo_) {
+      case TopologyKind::Ring:
+        return torusDelta(a, b, num_clusters_);
+      case TopologyKind::Mesh: {
+        int ra = a / mesh_cols_, ca = a % mesh_cols_;
+        int rb = b / mesh_cols_, cb = b % mesh_cols_;
+        return torusDelta(ra, rb, mesh_rows_) +
+               torusDelta(ca, cb, mesh_cols_);
+      }
+      case TopologyKind::Crossbar:
+        return a == b ? 0 : 1;
+    }
+    panic("bad topology kind %d", static_cast<int>(topo_));
 }
 
 bool
 MachineModel::directlyConnected(ClusterId a, ClusterId b) const
 {
-    return ringDistance(a, b) <= 1;
+    return distance(a, b) <= 1;
 }
 
 int
 MachineModel::hopsAlong(ClusterId a, ClusterId b, int dir) const
 {
+    DMS_ASSERT(topo_ == TopologyKind::Ring,
+               "hopsAlong is a ring query (topology is %s)",
+               topologyName(topo_));
     DMS_ASSERT(dir == 1 || dir == -1, "bad direction %d", dir);
     DMS_ASSERT(a >= 0 && a < num_clusters_, "bad cluster %d", a);
     DMS_ASSERT(b >= 0 && b < num_clusters_, "bad cluster %d", b);
@@ -34,22 +82,99 @@ MachineModel::hopsAlong(ClusterId a, ClusterId b, int dir) const
 ClusterId
 MachineModel::neighbor(ClusterId c, int dir) const
 {
+    DMS_ASSERT(topo_ == TopologyKind::Ring,
+               "neighbor is a ring query (topology is %s)",
+               topologyName(topo_));
     DMS_ASSERT(dir == 1 || dir == -1, "bad direction %d", dir);
     int n = (c + dir + num_clusters_) % num_clusters_;
     return static_cast<ClusterId>(n);
+}
+
+void
+MachineModel::pathBetween(ClusterId a, ClusterId b, int dir,
+                          std::vector<ClusterId> &out) const
+{
+    out.clear();
+    int hops = hopsAlong(a, b, dir);
+    ClusterId c = a;
+    for (int i = 1; i < hops; ++i) {
+        c = neighbor(c, dir);
+        out.push_back(c);
+    }
 }
 
 std::vector<ClusterId>
 MachineModel::pathBetween(ClusterId a, ClusterId b, int dir) const
 {
     std::vector<ClusterId> mid;
-    int hops = hopsAlong(a, b, dir);
-    ClusterId c = a;
-    for (int i = 1; i < hops; ++i) {
-        c = neighbor(c, dir);
-        mid.push_back(c);
-    }
+    pathBetween(a, b, dir, mid);
     return mid;
+}
+
+int
+MachineModel::routeLength(ClusterId a, ClusterId b, int route) const
+{
+    DMS_ASSERT(route >= 0 && route < kNumRoutes, "bad route %d",
+               route);
+    switch (topo_) {
+      case TopologyKind::Ring:
+        return hopsAlong(a, b, route == 0 ? +1 : -1);
+      case TopologyKind::Mesh:
+        // Dimension-order routes are torus-shortest per dimension,
+        // so both alternatives have minimal total length.
+        return distance(a, b);
+      case TopologyKind::Crossbar:
+        return distance(a, b);
+    }
+    panic("bad topology kind %d", static_cast<int>(topo_));
+}
+
+void
+MachineModel::routeBetween(ClusterId a, ClusterId b, int route,
+                           std::vector<ClusterId> &out) const
+{
+    DMS_ASSERT(route >= 0 && route < kNumRoutes, "bad route %d",
+               route);
+    switch (topo_) {
+      case TopologyKind::Ring:
+        pathBetween(a, b, route == 0 ? +1 : -1, out);
+        return;
+      case TopologyKind::Mesh: {
+        out.clear();
+        DMS_ASSERT(a >= 0 && a < num_clusters_, "bad cluster %d", a);
+        DMS_ASSERT(b >= 0 && b < num_clusters_, "bad cluster %d", b);
+        int r = a / mesh_cols_, c = a % mesh_cols_;
+        const int rb = b / mesh_cols_, cb = b % mesh_cols_;
+        // Route 0 resolves columns first, route 1 rows first; each
+        // dimension walks its torus-shortest direction (ties +1).
+        for (int phase = 0; phase < 2; ++phase) {
+            bool cols_now = (route == 0) == (phase == 0);
+            if (cols_now) {
+                int step = torusStep(c, cb, mesh_cols_);
+                while (c != cb) {
+                    c = ((c + step) % mesh_cols_ + mesh_cols_) %
+                        mesh_cols_;
+                    if (r != rb || c != cb)
+                        out.push_back(r * mesh_cols_ + c);
+                }
+            } else {
+                int step = torusStep(r, rb, mesh_rows_);
+                while (r != rb) {
+                    r = ((r + step) % mesh_rows_ + mesh_rows_) %
+                        mesh_rows_;
+                    if (r != rb || c != cb)
+                        out.push_back(r * mesh_cols_ + c);
+                }
+            }
+        }
+        return;
+      }
+      case TopologyKind::Crossbar:
+        // Everything is directly connected; no intermediate hops.
+        out.clear();
+        return;
+    }
+    panic("bad topology kind %d", static_cast<int>(topo_));
 }
 
 } // namespace dms

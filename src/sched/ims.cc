@@ -75,8 +75,10 @@ runIms(const Ddg &ddg, const MachineModel &machine,
        const SchedParams &params)
 {
     SchedOutcome out;
-    out.resMii = resMii(ddg, machine);
-    out.recMii = recMii(ddg);
+    out.resMii = params.knownResMii >= 0 ? params.knownResMii
+                                         : resMii(ddg, machine);
+    out.recMii = params.knownRecMii >= 0 ? params.knownRecMii
+                                         : recMii(ddg);
     out.mii = std::max(out.resMii, out.recMii);
     int max_ii = params.maxII > 0 ? params.maxII
                                   : defaultMaxII(out.mii);

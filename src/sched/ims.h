@@ -34,6 +34,16 @@ struct SchedParams
 
     /** Hard II cap; 0 means automatic (6 * MII + 64). */
     int maxII = 0;
+
+    /**
+     * Precomputed MII bounds for this exact body/machine pair, or
+     * -1 to compute internally. The pipeline's MII stage fills
+     * these so the scheduler does not re-derive what the driver
+     * already knows; values must come from resMii()/recMii() on the
+     * same inputs.
+     */
+    int knownResMii = -1;
+    int knownRecMii = -1;
 };
 
 /** Result of a scheduling run. */

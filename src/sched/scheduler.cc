@@ -1,0 +1,62 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+
+namespace dms {
+
+SchedulerRegistry::SchedulerRegistry()
+{
+    registerBuiltinSchedulers(*this);
+}
+
+SchedulerRegistry &
+SchedulerRegistry::instance()
+{
+    // Magic static: the constructor (and builtin registration) runs
+    // exactly once, even when sweep workers race the first lookup.
+    static SchedulerRegistry registry;
+    return registry;
+}
+
+bool
+SchedulerRegistry::add(const std::string &name,
+                       SchedulerFactory factory)
+{
+    if (contains(name))
+        return false;
+    entries_.emplace_back(name, factory);
+    return true;
+}
+
+std::unique_ptr<Scheduler>
+SchedulerRegistry::create(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        if (e.first == name)
+            return e.second();
+    }
+    return nullptr;
+}
+
+bool
+SchedulerRegistry::contains(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        if (e.first == name)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+SchedulerRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &e : entries_)
+        out.push_back(e.first);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace dms

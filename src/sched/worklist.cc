@@ -26,13 +26,36 @@ Worklist::build(const Ddg &ddg, const Heights &heights)
             max_h = h;
         first = false;
     }
+
+    // The bucket array is bounded by the live-op count, not the
+    // height range: dense (one bucket per height offset) while the
+    // range is already that tight — the common case, and O(n) to
+    // fill — with a sorted-unique rank compression for sparse or
+    // wide ranges (huge latencies, deep chains), which would
+    // otherwise blow the array up arbitrarily.
     const std::int64_t range = first ? 1 : max_h - min_h + 1;
-    DMS_ASSERT(range <= (1 << 24), "height range %lld too wide",
-               static_cast<long long>(range));
+    const std::int64_t live = ddg.liveOpCount();
+    const bool dense = range <= std::max<std::int64_t>(2 * live, 64);
+
+    size_t bucket_count;
+    if (dense) {
+        bucket_count = static_cast<size_t>(range);
+    } else {
+        ranks_.clear();
+        for (OpId id = 0; id < ddg.numOps(); ++id) {
+            if (ddg.opLive(id))
+                ranks_.push_back(heights[static_cast<size_t>(id)]);
+        }
+        std::sort(ranks_.begin(), ranks_.end());
+        ranks_.erase(std::unique(ranks_.begin(), ranks_.end()),
+                     ranks_.end());
+        bucket_count = ranks_.size();
+    }
 
     for (auto &b : buckets_)
         b.clear();
-    buckets_.resize(static_cast<size_t>(range));
+    if (buckets_.size() < bucket_count)
+        buckets_.resize(bucket_count); // grow only: arena reuse
     bucket_of_.assign(n, -1);
     waiting_.assign(n, 0);
     top_ = -1;
@@ -41,8 +64,16 @@ Worklist::build(const Ddg &ddg, const Heights &heights)
     for (OpId id = 0; id < ddg.numOps(); ++id) {
         if (!ddg.opLive(id))
             continue;
-        bucket_of_[static_cast<size_t>(id)] = static_cast<std::int32_t>(
-            heights[static_cast<size_t>(id)] - min_h);
+        std::int64_t h = heights[static_cast<size_t>(id)];
+        std::int32_t bucket;
+        if (dense) {
+            bucket = static_cast<std::int32_t>(h - min_h);
+        } else {
+            auto it = std::lower_bound(ranks_.begin(), ranks_.end(),
+                                       h);
+            bucket = static_cast<std::int32_t>(it - ranks_.begin());
+        }
+        bucket_of_[static_cast<size_t>(id)] = bucket;
         push(id);
     }
 }

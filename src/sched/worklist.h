@@ -13,6 +13,11 @@
  * heap operation. Eviction churn re-pushes operations; a membership
  * flag deduplicates re-pushes of an operation already waiting.
  *
+ * Buckets are *rank-compressed*: one bucket per distinct height in
+ * the attempt (sorted-unique at build time), so the bucket array is
+ * bounded by the op count rather than the height range and sparse
+ * height tables (huge latencies, long chains) cost nothing.
+ *
  * Invariant while a scheduler runs: the worklist holds exactly the
  * live, unscheduled, non-move operations. Move operations never
  * enter — they are scheduled at chain creation and removed from the
@@ -55,11 +60,13 @@ class Worklist
     int size() const { return size_; }
 
   private:
-    /** One vector per distinct height offset, kept as a min-heap
-     * on op id. */
+    /** One vector per distinct height (rank order), kept as a
+     * min-heap on op id. */
     std::vector<std::vector<OpId>> buckets_;
     /** op -> bucket index (fixed at build). */
     std::vector<std::int32_t> bucket_of_;
+    /** Sorted distinct heights of the current attempt (scratch). */
+    std::vector<std::int64_t> ranks_;
     /** op -> currently waiting? */
     std::vector<std::uint8_t> waiting_;
     /** Highest possibly-non-empty bucket (lazily decreased). */

@@ -100,18 +100,26 @@ void
 ThreadPool::parallelFor(size_t n,
                         const std::function<void(size_t)> &body)
 {
+    parallelForWorker(n, [&body](size_t i, int) { body(i); });
+}
+
+void
+ThreadPool::parallelForWorker(
+    size_t n, const std::function<void(size_t, int)> &body)
+{
     if (n == 0)
         return;
     if (jobs_ <= 1) {
         for (size_t i = 0; i < n; ++i)
-            body(i);
+            body(i, 0);
         return;
     }
     auto next = std::make_shared<std::atomic<size_t>>(0);
     auto abort = std::make_shared<std::atomic<bool>>(false);
     size_t spawn = std::min(static_cast<size_t>(jobs_), n);
     for (size_t w = 0; w < spawn; ++w) {
-        submit([next, abort, n, &body] {
+        const int slot = static_cast<int>(w);
+        submit([next, abort, n, slot, &body] {
             for (size_t i = next->fetch_add(1); i < n;
                  i = next->fetch_add(1)) {
                 // A thrown body aborts the whole loop instead of
@@ -119,7 +127,7 @@ ThreadPool::parallelFor(size_t n,
                 if (abort->load(std::memory_order_relaxed))
                     return;
                 try {
-                    body(i);
+                    body(i, slot);
                 } catch (...) {
                     abort->store(true, std::memory_order_relaxed);
                     throw;

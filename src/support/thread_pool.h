@@ -57,6 +57,17 @@ class ThreadPool
     void parallelFor(size_t n, const std::function<void(size_t)> &body);
 
     /**
+     * parallelFor variant whose body also receives a dense worker
+     * slot in [0, jobs()): every index executed by the same task
+     * sees the same slot, so callers can hand each worker its own
+     * reusable state (arena, compilation context) without locking.
+     * Slot assignment is an implementation detail — only the
+     * "exclusive while running" property is guaranteed.
+     */
+    void parallelForWorker(
+        size_t n, const std::function<void(size_t, int)> &body);
+
+    /**
      * The pool size used when none is given: DMS_JOBS if set to a
      * positive integer (garbage or overflow is rejected with a
      * warning), else std::thread::hardware_concurrency(), else 1.

@@ -55,4 +55,15 @@ applyUnrollPolicy(const Ddg &ddg, const MachineModel &machine,
     return unrollDdg(ddg, u);
 }
 
+void
+applyUnrollPolicy(const Ddg &ddg, const MachineModel &machine,
+                  Ddg &out, int max_factor, int max_ops)
+{
+    int u = chooseUnrollFactor(ddg, machine, max_factor, max_ops);
+    if (u == 1)
+        out.resetTo(ddg);
+    else
+        out = unrollDdg(ddg, u);
+}
+
 } // namespace dms

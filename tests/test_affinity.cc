@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Incremental affinity tracker tests: randomized equivalence
+ * against the from-scratch clustersByAffinity recompute under every
+ * event the DMS inner loop generates — placements, unschedules,
+ * evictions, and chain splice/dissolve (which rewrites the active
+ * edge set mid-schedule). Any drift between the maintained rows and
+ * the recomputed ranking is a bug that would silently change
+ * placement decisions, so this is fuzzed, not spot-checked.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/affinity.h"
+#include "core/chain.h"
+#include "core/comm.h"
+#include "support/rng.h"
+#include "workload/suite.h"
+#include "workload/synth.h"
+
+namespace {
+
+using namespace dms;
+
+/** Compare tracker.order against the recompute for every live op. */
+void
+expectSameOrder(const Ddg &ddg, const PartialSchedule &ps,
+                const MachineModel &machine,
+                const AffinityTracker &tracker, int rotate)
+{
+    AffinityScratch scratch;
+    std::vector<ClusterId> expected;
+    std::vector<ClusterId> actual;
+    for (OpId op = 0; op < ddg.numOps(); ++op) {
+        if (!ddg.opLive(op))
+            continue;
+        clustersByAffinity(ddg, ps, machine, op, rotate, scratch,
+                           expected);
+        tracker.order(op, rotate, actual);
+        ASSERT_EQ(expected, actual)
+            << "op " << op << " rotate " << rotate;
+    }
+}
+
+TEST(AffinityTracker, MatchesRecomputeUnderRandomEvents)
+{
+    Rng rng(0xaff1u);
+    std::vector<Loop> suite = standardSuite(kSuiteSeed, 10);
+
+    for (size_t li = 0; li < suite.size(); ++li) {
+        const int nc = rng.range(4, 8);
+        MachineModel machine = MachineModel::clusteredRing(nc);
+        Ddg ddg = suite[li].ddg;
+        PartialSchedule ps(ddg, machine, /*ii=*/rng.range(4, 12));
+        ChainRegistry chains;
+        AffinityTracker tracker;
+        tracker.attach(ddg, ps, machine);
+
+        std::vector<int> live_chains;
+        const int steps = 120;
+        for (int step = 0; step < steps; ++step) {
+            int action = rng.range(0, 9);
+            if (action <= 4) {
+                // Place a random unscheduled non-move op.
+                OpId op = rng.range(0, ddg.numOps() - 1);
+                if (!ddg.opLive(op) || ps.isScheduled(op) ||
+                    ddg.op(op).origin == OpOrigin::MoveOp)
+                    continue;
+                ClusterId c = rng.range(0, nc - 1);
+                Cycle t = rng.range(0, 3 * ps.ii());
+                ps.tryPlace(op, t, c); // may fail: row full
+            } else if (action <= 6) {
+                // Unschedule a random scheduled non-move op.
+                OpId op = rng.range(0, ddg.numOps() - 1);
+                if (!ddg.opLive(op) || !ps.isScheduled(op) ||
+                    ddg.op(op).origin == OpOrigin::MoveOp)
+                    continue;
+                ps.unschedule(op);
+            } else if (action <= 7) {
+                // Splice a chain for a random far flow edge whose
+                // producer is scheduled (what strategy 2 does).
+                EdgeId e = rng.range(0, ddg.numEdges() - 1);
+                if (!ddg.edgeActive(e) ||
+                    ddg.edge(e).kind != DepKind::Flow)
+                    continue;
+                const Edge &ed = ddg.edge(e);
+                if (ed.src == ed.dst || !ps.isScheduled(ed.src))
+                    continue;
+                // DMS never chains a chain's own sub-edge (the
+                // consumer's chains dissolve before it re-enters
+                // the worklist), so the fuzz stays off them too.
+                if (ddg.op(ed.src).origin == OpOrigin::MoveOp ||
+                    ddg.op(ed.dst).origin == OpOrigin::MoveOp)
+                    continue;
+                ClusterId from = ps.clusterOf(ed.src);
+                ClusterId to = static_cast<ClusterId>(
+                    (from + 2) % nc);
+                if (machine.directlyConnected(from, to))
+                    continue;
+                std::vector<ClusterId> path;
+                machine.routeBetween(from, to, rng.range(0, 1),
+                                     path);
+                if (path.empty())
+                    continue;
+                int cid = chains.create(
+                    ddg, e, path, machine.latencyOf(Opcode::Move));
+                // Schedule the moves like commitStrategy2 does.
+                const Chain &ch = chains.chain(cid);
+                bool placed_all = true;
+                for (size_t k = 0; k < ch.moves.size(); ++k) {
+                    Cycle t = rng.range(0, 2 * ps.ii());
+                    if (!ps.tryPlace(ch.moves[k], t,
+                                     ch.clusters[k])) {
+                        placed_all = false;
+                        break;
+                    }
+                }
+                if (!placed_all) {
+                    chains.dissolve(cid, ddg, ps);
+                } else {
+                    live_chains.push_back(cid);
+                }
+            } else if (action <= 8 && !live_chains.empty()) {
+                // Dissolve a random live chain.
+                size_t at = static_cast<size_t>(
+                    rng.range(0,
+                              static_cast<int>(live_chains.size()) -
+                                  1));
+                chains.dissolve(live_chains[at], ddg, ps);
+                live_chains.erase(live_chains.begin() +
+                                  static_cast<long>(at));
+            }
+            // else: no-op step; still verify below.
+
+            if (step % 10 == (static_cast<int>(li) % 10)) {
+                expectSameOrder(ddg, ps, machine, tracker,
+                                rng.range(0, nc - 1));
+            }
+        }
+        expectSameOrder(ddg, ps, machine, tracker, 0);
+        tracker.detach();
+        EXPECT_EQ(ddg.listener(), nullptr);
+        EXPECT_EQ(ps.listener(), nullptr);
+    }
+}
+
+TEST(AffinityTracker, ChainDissolveRestoresRows)
+{
+    // Deterministic splice/dissolve round trip: rows after a
+    // create+dissolve pair must equal the rows before it.
+    MachineModel machine = MachineModel::clusteredRing(6);
+    Ddg ddg;
+    OpId a = ddg.addOp(Opcode::Load);
+    OpId b = ddg.addOp(Opcode::Add);
+    EdgeId e = ddg.addEdge(a, b, DepKind::Flow, 0,
+                           machine.latencyOf(Opcode::Load), 0);
+
+    PartialSchedule ps(ddg, machine, 4);
+    AffinityTracker tracker;
+    tracker.attach(ddg, ps, machine);
+
+    ASSERT_TRUE(ps.tryPlace(a, 0, 0));
+    ASSERT_TRUE(ps.tryPlace(b, 2, 3));
+
+    std::vector<ClusterId> before_a;
+    std::vector<ClusterId> before_b;
+    tracker.order(a, 0, before_a);
+    tracker.order(b, 0, before_b);
+
+    std::vector<ClusterId> path;
+    machine.routeBetween(0, 3, 0, path); // 1, 2
+    ChainRegistry chains;
+    int cid =
+        chains.create(ddg, e, path, machine.latencyOf(Opcode::Move));
+    const Chain &ch = chains.chain(cid);
+    for (size_t k = 0; k < ch.moves.size(); ++k)
+        ASSERT_TRUE(ps.tryPlace(ch.moves[k], 1, ch.clusters[k]));
+    chains.dissolve(cid, ddg, ps);
+
+    std::vector<ClusterId> after;
+    tracker.order(a, 0, after);
+    EXPECT_EQ(before_a, after);
+    tracker.order(b, 0, after);
+    EXPECT_EQ(before_b, after);
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Declarative machine description tests: canonical round-trips,
+ * factory equivalence of the runner's sweep templates, template
+ * expansion, topology semantics of the mesh/crossbar variants, and
+ * rejection of malformed input with line-numbered errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "eval/runner.h"
+#include "machine/desc.h"
+
+namespace {
+
+using namespace dms;
+
+MachineModel
+parseOk(const std::string &text)
+{
+    MachineModel m = MachineModel::unclustered(1);
+    std::string error;
+    EXPECT_TRUE(machineFromText(text, m, error)) << error;
+    return m;
+}
+
+std::string
+parseError(const std::string &text)
+{
+    MachineModel m = MachineModel::unclustered(1);
+    std::string error;
+    EXPECT_FALSE(machineFromText(text, m, error))
+        << "accepted: " << text;
+    return error;
+}
+
+TEST(MachineDesc, RoundTripsCanonicalForm)
+{
+    MachineModel ring = MachineModel::clusteredRing(4, 2);
+    ring.setName("ring4");
+    ring.latency().set(Opcode::Mul, 4);
+
+    MachineModel wide = MachineModel::unclustered(6);
+
+    MachineModel mesh = MachineModel::custom(
+        6, RegFileKind::Queues, {1, 1, 1, 1}, TopologyKind::Mesh,
+        2, 3);
+    mesh.setName("mesh2x3");
+
+    MachineModel xbar = MachineModel::custom(
+        5, RegFileKind::Queues, {2, 1, 1, 1},
+        TopologyKind::Crossbar);
+
+    for (const MachineModel &m : {ring, wide, mesh, xbar}) {
+        MachineModel back = parseOk(machineToText(m));
+        EXPECT_EQ(m, back) << machineToText(m);
+    }
+}
+
+TEST(MachineDesc, DefaultsMatchSingleConventionalCluster)
+{
+    MachineModel m = parseOk("clusters 1\n");
+    EXPECT_EQ(m, MachineModel::unclustered(1));
+}
+
+TEST(MachineDesc, SweepTemplatesMatchFactories)
+{
+    for (int c = 1; c <= 10; ++c) {
+        MachineModel clustered = parseOk(
+            expandMachineTemplate(kClusteredMachineTemplate, c));
+        EXPECT_EQ(clustered, MachineModel::clusteredRing(c));
+
+        MachineModel unclustered = parseOk(
+            expandMachineTemplate(kUnclusteredMachineTemplate, c));
+        EXPECT_EQ(unclustered, MachineModel::unclustered(c));
+    }
+}
+
+TEST(MachineDesc, TemplateExpandsEveryPlaceholder)
+{
+    EXPECT_EQ(expandMachineTemplate("fus ldst=$C add=$C\n", 12),
+              "fus ldst=12 add=12\n");
+    EXPECT_EQ(expandMachineTemplate("no placeholder", 3),
+              "no placeholder");
+    EXPECT_EQ(expandMachineTemplate("$C", 7), "7");
+}
+
+TEST(MachineDesc, CommentsAndBlankLinesIgnored)
+{
+    MachineModel m = parseOk("# header\n\n"
+                             "clusters 2   # trailing comment\n"
+                             "regfile queues\n"
+                             "fus copy=1\n");
+    EXPECT_EQ(m.numClusters(), 2);
+    EXPECT_TRUE(m.clustered());
+    EXPECT_EQ(m.fusPerCluster(FuClass::LdSt), 1); // default kept
+}
+
+TEST(MachineDesc, MeshTopologySemantics)
+{
+    MachineModel m = parseOk("clusters 9\n"
+                             "topology mesh 3x3\n"
+                             "regfile queues\n"
+                             "fus copy=1\n");
+    EXPECT_EQ(m.topology(), TopologyKind::Mesh);
+    // Cluster ids are row-major: 0 1 2 / 3 4 5 / 6 7 8.
+    EXPECT_EQ(m.distance(0, 4), 2);
+    EXPECT_EQ(m.distance(0, 8), 2); // torus wrap both dims
+    EXPECT_TRUE(m.directlyConnected(0, 2)); // column wrap
+    EXPECT_TRUE(m.directlyConnected(0, 6)); // row wrap
+
+    // Dimension-order routes: 0 -> 4 via column-first (route 0)
+    // passes cluster 1; row-first (route 1) passes cluster 3.
+    std::vector<ClusterId> path;
+    m.routeBetween(0, 4, 0, path);
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_EQ(path[0], 1);
+    m.routeBetween(0, 4, 1, path);
+    ASSERT_EQ(path.size(), 1u);
+    EXPECT_EQ(path[0], 3);
+    EXPECT_EQ(m.routeLength(0, 4, 0), 2);
+    EXPECT_EQ(m.routeLength(0, 4, 1), 2);
+}
+
+TEST(MachineDesc, CrossbarIsFullyConnected)
+{
+    MachineModel m = parseOk("clusters 8\n"
+                             "topology crossbar\n"
+                             "regfile queues\n"
+                             "fus copy=1\n");
+    std::vector<ClusterId> path;
+    for (ClusterId a = 0; a < 8; ++a) {
+        for (ClusterId b = 0; b < 8; ++b) {
+            EXPECT_TRUE(m.directlyConnected(a, b));
+            EXPECT_EQ(m.distance(a, b), a == b ? 0 : 1);
+            m.routeBetween(a, b, 0, path);
+            EXPECT_TRUE(path.empty());
+        }
+    }
+}
+
+TEST(MachineDesc, RejectsMalformedInput)
+{
+    // Each entry: input, substring expected in the error.
+    const struct
+    {
+        const char *text;
+        const char *expect;
+    } cases[] = {
+        {"bogus 1\n", "unknown key"},
+        {"clusters 0\n", "positive integer"},
+        {"clusters x\n", "positive integer"},
+        {"clusters 4 extra\n", "positive integer"},
+        {"clusters 2\nclusters 3\n", "duplicate"},
+        {"topology blob\n", "topology must be"},
+        {"topology mesh 2\n", "mesh dims"},
+        {"topology mesh axb\n", "mesh dims"},
+        {"clusters 5\ntopology mesh 2x2\nregfile queues\n"
+         "fus copy=1\n",
+         "does not cover"},
+        {"regfile whatever\n", "regfile must be"},
+        {"fus\n", "class=count"},
+        {"fus bogus=1\n", "unknown FU class"},
+        {"fus ldst=65\n", "out of range"},
+        {"fus ldst=-1\n", "out of range"},
+        {"fus ldst\n", "malformed"},
+        {"latency nop=3\n", "unknown opcode"},
+        {"latency mul=-1\n", "not a non-negative"},
+        {"machine a b\n", "exactly one name"},
+        {"clusters 4\nregfile queues\nfus copy=0\n",
+         "needs copy units"},
+    };
+    for (const auto &c : cases) {
+        std::string err = parseError(c.text);
+        EXPECT_NE(err.find(c.expect), std::string::npos)
+            << "input: " << c.text << "\nerror: " << err;
+    }
+    // Errors carry a line number.
+    EXPECT_NE(parseError("clusters 2\nbogus 1\n").find("line 2"),
+              std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Worklist tests: pop order against a brute-force reference
+ * (highest height first, ties to lowest id) over random height
+ * tables, re-push deduplication, and the rank-compressed path for
+ * sparse height ranges that would previously have tripped the
+ * dense bucket array's range limit.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sched/worklist.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace dms;
+
+/** A DDG of n independent add ops (heights come from the table). */
+Ddg
+flatDdg(int n)
+{
+    Ddg ddg;
+    for (int i = 0; i < n; ++i)
+        ddg.addOp(Opcode::Add);
+    return ddg;
+}
+
+/** Brute-force reference order: height desc, id asc. */
+std::vector<OpId>
+referenceOrder(const Heights &heights, int n)
+{
+    std::vector<OpId> order(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        order[static_cast<size_t>(i)] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](OpId a, OpId b) {
+                         return heights[static_cast<size_t>(a)] >
+                                heights[static_cast<size_t>(b)];
+                     });
+    return order;
+}
+
+TEST(Worklist, PopOrderMatchesBruteForce)
+{
+    Rng rng(0x11aa22u);
+    for (int round = 0; round < 50; ++round) {
+        const int n = rng.range(1, 40);
+        Ddg ddg = flatDdg(n);
+        Heights heights(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            heights[static_cast<size_t>(i)] =
+                rng.range(-20, 20); // dense path, duplicates likely
+        }
+        Worklist wl;
+        wl.build(ddg, heights);
+        EXPECT_EQ(wl.size(), n);
+        for (OpId expect : referenceOrder(heights, n))
+            EXPECT_EQ(wl.pop(), expect);
+        EXPECT_TRUE(wl.empty());
+        EXPECT_EQ(wl.pop(), kInvalidOp);
+    }
+}
+
+TEST(Worklist, SparseHeightsUseBoundedBuckets)
+{
+    // Height ranges far beyond the old 1<<24 dense-array limit:
+    // rank compression keeps the bucket count at the number of
+    // distinct heights, and the order is unchanged.
+    Rng rng(0x33bb44u);
+    const int n = 64;
+    Ddg ddg = flatDdg(n);
+    Heights heights(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        std::int64_t h =
+            static_cast<std::int64_t>(rng.range(0, 1 << 30)) *
+            rng.range(1, 1 << 10);
+        heights[static_cast<size_t>(i)] = h;
+    }
+    heights[0] = heights[1]; // at least one duplicate
+
+    Worklist wl;
+    wl.build(ddg, heights);
+    for (OpId expect : referenceOrder(heights, n))
+        EXPECT_EQ(wl.pop(), expect);
+    EXPECT_TRUE(wl.empty());
+}
+
+TEST(Worklist, RepushDeduplicatesAndReorders)
+{
+    const int n = 8;
+    Ddg ddg = flatDdg(n);
+    Heights heights = {5, 3, 9, 3, 7, 1, 9, 2};
+
+    Worklist wl;
+    wl.build(ddg, heights);
+    EXPECT_EQ(wl.pop(), 2); // height 9, lowest id
+    EXPECT_EQ(wl.pop(), 6); // height 9
+    EXPECT_EQ(wl.pop(), 4); // height 7
+
+    // Re-push an evicted op; duplicate pushes collapse.
+    wl.push(2);
+    wl.push(2);
+    EXPECT_EQ(wl.size(), n - 2);
+    EXPECT_EQ(wl.pop(), 2);
+    EXPECT_EQ(wl.pop(), 0); // height 5
+    EXPECT_EQ(wl.pop(), 1); // height 3, id 1 before id 3
+    EXPECT_EQ(wl.pop(), 3);
+    EXPECT_EQ(wl.pop(), 7);
+    EXPECT_EQ(wl.pop(), 5);
+    EXPECT_TRUE(wl.empty());
+}
+
+} // namespace
