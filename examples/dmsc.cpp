@@ -166,19 +166,30 @@ main(int argc, char **argv)
                 "%.2f\n",
                 ctx.perf.stageCount, ctx.perf.cycles,
                 ctx.perf.iterations, ctx.perf.ipc);
+    if (ctx.queuesValid) {
+        std::printf("regalloc: %zu queues in %d files (%d storage "
+                    "positions, max %d queues/file, max %d "
+                    "queues/link)\n",
+                    ctx.queues.lifetimes.size(),
+                    ctx.queues.filesUsed, ctx.queues.totalStorage,
+                    ctx.queues.maxQueuesPerFile,
+                    ctx.queues.maxQueuesPerLink);
+    }
 
     const Ddg &sched_ddg = ctx.scheduledDdg();
     const PartialSchedule &schedule = *ctx.result.sched.schedule;
     if (emit) {
-        std::printf("\n%s", emitPipelinedCode(sched_ddg, machine,
-                                              ctx.kernel)
-                                .c_str());
+        std::printf("\n%s",
+                    emitPipelinedCode(sched_ddg, machine, ctx.kernel,
+                                      ctx.queuesValid ? &ctx.queues
+                                                      : nullptr)
+                        .c_str());
     }
     if (dot)
         std::printf("\n%s", ddgToDot(sched_ddg).c_str());
     if (share) {
         if (!ctx.queuesValid)
-            fatal("--share needs a queue-file ring machine");
+            fatal("--share needs a queue-file machine");
         SharedAllocation sa =
             shareQueues(ctx.queues, sched_ddg, schedule);
         std::printf("\nqueues: %d before sharing, %d after "

@@ -1,13 +1,41 @@
 #include "codegen/emit.h"
 
+#include "regalloc/queue_alloc.h"
 #include "support/diag.h"
 
 namespace dms {
 
 namespace {
 
+/**
+ * Per-op queue annotations: for every lifetime the op produces,
+ * the file (LRF cluster or CQRF link endpoints) and queue index
+ * assigned by the allocator.
+ */
+std::vector<std::string>
+queueNotes(const Ddg &ddg, const QueueAllocation *queues)
+{
+    std::vector<std::string> notes(
+        static_cast<size_t>(ddg.numOps()));
+    if (queues == nullptr)
+        return notes;
+    for (const Lifetime &lt : queues->lifetimes) {
+        std::string &n = notes[static_cast<size_t>(lt.def)];
+        if (lt.location == QueueLocation::Lrf) {
+            n += strfmt(">c%d.q%d", lt.cluster, lt.queueIndex);
+        } else {
+            const InterClusterLink &link =
+                queues->links[static_cast<size_t>(lt.link)];
+            n += strfmt(">c%d-c%d.q%d", link.src, link.dst,
+                        lt.queueIndex);
+        }
+    }
+    return notes;
+}
+
 std::string
-slotText(const Ddg &ddg, const KernelSlot &s, int iteration)
+slotText(const Ddg &ddg, const KernelSlot &s, int iteration,
+         const std::vector<std::string> &notes)
 {
     std::string txt = strfmt("%s", opcodeName(ddg.op(s.op).opc));
     txt += strfmt("%d", s.op);
@@ -15,12 +43,14 @@ slotText(const Ddg &ddg, const KernelSlot &s, int iteration)
         txt += strfmt("[i%d]", iteration);
     else
         txt += strfmt("(s%d)", s.stage);
+    txt += notes[static_cast<size_t>(s.op)];
     return txt;
 }
 
 std::string
 rowText(const Ddg &ddg, const MachineModel &machine,
-        const std::vector<KernelSlot> &row, int stage_of_iter0)
+        const std::vector<KernelSlot> &row, int stage_of_iter0,
+        const std::vector<std::string> &notes)
 {
     std::string line;
     for (ClusterId c = 0; c < machine.numClusters(); ++c) {
@@ -35,7 +65,7 @@ rowText(const Ddg &ddg, const MachineModel &machine,
                            : -1;
             if (stage_of_iter0 >= 0 && iter < 0)
                 continue; // not live yet in prologue
-            line += " " + slotText(ddg, s, iter);
+            line += " " + slotText(ddg, s, iter, notes);
             any = true;
         }
         if (!any)
@@ -48,14 +78,15 @@ rowText(const Ddg &ddg, const MachineModel &machine,
 
 std::string
 emitKernel(const Ddg &ddg, const MachineModel &machine,
-           const PipelinedLoop &loop)
+           const PipelinedLoop &loop, const QueueAllocation *queues)
 {
+    const std::vector<std::string> notes = queueNotes(ddg, queues);
     std::string out =
         strfmt("kernel: II=%d, SC=%d\n", loop.ii, loop.stageCount);
     for (int r = 0; r < loop.ii; ++r) {
         out += strfmt("  [%2d]", r);
         out += rowText(ddg, machine,
-                       loop.rows[static_cast<size_t>(r)], -1);
+                       loop.rows[static_cast<size_t>(r)], -1, notes);
         out += "\n";
     }
     return out;
@@ -63,8 +94,10 @@ emitKernel(const Ddg &ddg, const MachineModel &machine,
 
 std::string
 emitPipelinedCode(const Ddg &ddg, const MachineModel &machine,
-                  const PipelinedLoop &loop)
+                  const PipelinedLoop &loop,
+                  const QueueAllocation *queues)
 {
+    const std::vector<std::string> notes = queueNotes(ddg, queues);
     std::string out;
     const int sc = loop.stageCount;
     const int ii = loop.ii;
@@ -83,7 +116,7 @@ emitPipelinedCode(const Ddg &ddg, const MachineModel &machine,
             int iter = t / ii - s.stage;
             if (iter < 0)
                 continue;
-            line += " " + slotText(ddg, s, iter);
+            line += " " + slotText(ddg, s, iter, notes);
         }
         out += strfmt("  [%3d]%s\n", t,
                       line.empty() ? " nop" : line.c_str());
@@ -93,7 +126,7 @@ emitPipelinedCode(const Ddg &ddg, const MachineModel &machine,
     for (int r = 0; r < ii; ++r) {
         out += strfmt("  [%3d]", r);
         out += rowText(ddg, machine,
-                       loop.rows[static_cast<size_t>(r)], -1);
+                       loop.rows[static_cast<size_t>(r)], -1, notes);
         out += "\n";
     }
 

@@ -7,6 +7,11 @@
  * VLIW words (one column per FU), stage annotations, and the
  * prologue/epilogue expansion. Meant for humans — examples and
  * golden tests — not for an actual assembler.
+ *
+ * When a QueueAllocation is supplied, every producing op is
+ * annotated with the queue its result enters: `>c2.q1` for queue 1
+ * of cluster 2's LRF, `>c2-c3.q0` for queue 0 of the CQRF on the
+ * link from cluster 2 to cluster 3.
  */
 
 #include <string>
@@ -15,18 +20,28 @@
 
 namespace dms {
 
-/** Render the kernel (II rows of VLIW words). */
+struct QueueAllocation;
+
+/**
+ * Render the kernel (II rows of VLIW words). With @p queues,
+ * results are annotated with their assigned queue ids.
+ */
 std::string emitKernel(const Ddg &ddg, const MachineModel &machine,
-                       const PipelinedLoop &loop);
+                       const PipelinedLoop &loop,
+                       const QueueAllocation *queues = nullptr);
 
 /**
  * Render the full pipelined code: prologue words (cycle-by-cycle
  * ramp-up), the kernel, and epilogue words (ramp-down). Iteration
  * subscripts show which in-flight iteration each op belongs to.
+ * With @p queues, prologue and kernel ops carry queue-id
+ * annotations.
  */
 std::string emitPipelinedCode(const Ddg &ddg,
                               const MachineModel &machine,
-                              const PipelinedLoop &loop);
+                              const PipelinedLoop &loop,
+                              const QueueAllocation *queues =
+                                  nullptr);
 
 } // namespace dms
 

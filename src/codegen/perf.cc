@@ -1,5 +1,6 @@
 #include "codegen/perf.h"
 
+#include "regalloc/queue_alloc.h"
 #include "support/diag.h"
 
 namespace dms {
@@ -20,6 +21,15 @@ evaluateSchedulePerf(const Ddg &ddg, const PartialSchedule &ps,
                static_cast<double>(iterations) /
                static_cast<double>(perf.cycles);
     return perf;
+}
+
+void
+attachQueueStats(LoopPerf &perf, const QueueAllocation &alloc)
+{
+    perf.queueFiles = alloc.filesUsed;
+    perf.queues = static_cast<int>(alloc.lifetimes.size());
+    perf.queueStorage = alloc.totalStorage;
+    perf.maxLinkQueues = alloc.maxQueuesPerLink;
 }
 
 LoopPerf

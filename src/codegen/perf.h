@@ -32,6 +32,19 @@ struct LoopPerf
 
     /** Useful instructions per cycle. */
     double ipc = 0.0;
+
+    /**
+     * @name Queue-register pressure
+     * Filled from the regalloc stage by attachQueueStats; all zero
+     * when regalloc did not run (conventional register file, or
+     * the stage disabled).
+     */
+    /// @{
+    int queueFiles = 0;   ///< LRF+CQRF files holding >= 1 queue
+    int queues = 0;       ///< total queues across all files
+    int queueStorage = 0; ///< total storage positions
+    int maxLinkQueues = 0; ///< peak queues on any one link's CQRF
+    /// @}
 };
 
 /**
@@ -49,6 +62,14 @@ LoopPerf evaluatePerf(const Ddg &ddg, const PartialSchedule &ps,
 LoopPerf evaluateSchedulePerf(const Ddg &ddg,
                               const PartialSchedule &ps,
                               long iterations);
+
+struct QueueAllocation;
+
+/**
+ * Fold a queue allocation's pressure numbers into @p perf (the
+ * pipeline perf stage calls this after regalloc ran).
+ */
+void attachQueueStats(LoopPerf &perf, const QueueAllocation &alloc);
 
 } // namespace dms
 

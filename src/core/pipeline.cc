@@ -112,9 +112,9 @@ stageRegalloc(const PipelineOptions &, const Loop &,
 {
     ctx.queuesValid = false;
     // Queue allocation models LRF/CQRF files, which exist on
-    // queue-file ring machines only.
-    if (machine.regFileKind() == RegFileKind::Queues &&
-        machine.topology() == TopologyKind::Ring) {
+    // queue-file machines; the CQRFs are per directed link, so any
+    // topology (ring, mesh, crossbar) allocates.
+    if (machine.regFileKind() == RegFileKind::Queues) {
         ctx.queues = allocateQueues(ctx.scheduledDdg(), machine,
                                     *ctx.result.sched.schedule);
         ctx.queuesValid = true;
@@ -148,6 +148,10 @@ stagePerf(const PipelineOptions &, const Loop &,
     ctx.perf = evaluateSchedulePerf(ctx.scheduledDdg(),
                                     *ctx.result.sched.schedule,
                                     ctx.iterations);
+    // Fold the regalloc stage's per-link pressure into the perf
+    // record so sweeps report full-pipeline numbers.
+    if (ctx.queuesValid)
+        attachQueueStats(ctx.perf, ctx.queues);
     ctx.perfValid = true;
     return true;
 }

@@ -55,7 +55,8 @@ struct PipelineOptions
     /** Panic on an illegal schedule (the figure-bench default). */
     bool verify = true;
 
-    /** Queue register allocation (queue-file ring machines only). */
+    /** Queue register allocation (queue-file machines, any
+     *  topology). */
     bool regalloc = false;
 
     /** Kernel construction (prologue/kernel/epilogue shape). */

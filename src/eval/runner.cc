@@ -23,6 +23,7 @@ columnOptions(const std::string &scheduler,
     po.config.base = opts.ims;
     po.config.dms = opts.dms;
     po.verify = opts.verify;
+    po.regalloc = opts.regalloc;
     po.perf = true;
     return po;
 }
@@ -82,6 +83,12 @@ runLoop(const Pipeline &pipeline, const Loop &loop,
     run.cycles = ctx.perf.cycles;
     run.usefulIssues = static_cast<long>(ctx.perf.usefulOps) *
                        ctx.iterations;
+    // Queue pressure flows regalloc -> perf -> LoopRun; zero when
+    // the machine has no queue files or the stage is off.
+    run.queueFiles = ctx.perf.queueFiles;
+    run.queuesRequired = ctx.perf.queues;
+    run.queueStorage = ctx.perf.queueStorage;
+    run.maxLinkQueues = ctx.perf.maxLinkQueues;
     return run;
 }
 

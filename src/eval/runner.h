@@ -45,6 +45,18 @@ struct LoopRun
 
     /** Useful instructions issued over the whole run. */
     long usefulIssues = 0;
+
+    /**
+     * @name Queue register pressure (regalloc stage)
+     * All zero on conventional-register-file machines or when the
+     * runner's regalloc switch is off.
+     */
+    /// @{
+    int queueFiles = 0;    ///< LRF+CQRF files holding >= 1 queue
+    int queuesRequired = 0; ///< total queues (one per lifetime)
+    int queueStorage = 0;  ///< total storage positions
+    int maxLinkQueues = 0; ///< peak queues on any one link's CQRF
+    /// @}
 };
 
 /** Field-wise equality; used by determinism checks (jobs=1 vs N). */
@@ -57,7 +69,11 @@ operator==(const LoopRun &a, const LoopRun &b)
            a.movesInserted == b.movesInserted &&
            a.copiesInserted == b.copiesInserted &&
            a.iterations == b.iterations && a.cycles == b.cycles &&
-           a.usefulIssues == b.usefulIssues;
+           a.usefulIssues == b.usefulIssues &&
+           a.queueFiles == b.queueFiles &&
+           a.queuesRequired == b.queuesRequired &&
+           a.queueStorage == b.queueStorage &&
+           a.maxLinkQueues == b.maxLinkQueues;
 }
 
 inline bool
@@ -130,6 +146,14 @@ struct RunnerOptions
 
     /** Verify every schedule (panic on an illegal one). */
     bool verify = true;
+
+    /**
+     * Run queue register allocation on queue-file machines (any
+     * topology) and record the pressure stats in each LoopRun, so
+     * sweeps report full-pipeline numbers rather than
+     * schedule-only ones.
+     */
+    bool regalloc = true;
 
     /** Progress lines on stderr. */
     bool progress = true;

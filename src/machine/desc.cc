@@ -90,6 +90,14 @@ struct ParseState
     bool sawTopology = false;
     bool sawRegfile = false;
     bool sawFus = false;
+
+    /**
+     * Lines the shape keys appeared on, so validation that spans
+     * several lines (mesh dims vs cluster count, queue files vs
+     * copy units) can still point at the offending line.
+     */
+    int topologyLine = 0;
+    int regfileLine = 0;
 };
 
 } // namespace
@@ -134,6 +142,7 @@ machineFromText(const std::string &text, MachineModel &out,
             if (st.sawTopology)
                 return fail("duplicate 'topology'");
             st.sawTopology = true;
+            st.topologyLine = lineno;
             if (toks.size() == 2 && toks[1] == "ring") {
                 st.topo = TopologyKind::Ring;
             } else if (toks.size() == 2 && toks[1] == "crossbar") {
@@ -158,6 +167,7 @@ machineFromText(const std::string &text, MachineModel &out,
             if (st.sawRegfile)
                 return fail("duplicate 'regfile'");
             st.sawRegfile = true;
+            st.regfileLine = lineno;
             if (toks.size() == 2 && toks[1] == "queues") {
                 st.regfile = RegFileKind::Queues;
             } else if (toks.size() == 2 &&
@@ -214,20 +224,27 @@ machineFromText(const std::string &text, MachineModel &out,
     }
 
     // Shape validation mirrors MachineModel::custom() but reports
-    // instead of panicking: this is user input. The product is
-    // taken in 64 bits — RxC near INT_MAX must not wrap around
-    // into a value that happens to pass the comparison.
+    // instead of panicking: this is user input. The checks span
+    // several lines, so each error points at the line that set the
+    // constraint. The product is taken in 64 bits — RxC near
+    // INT_MAX must not wrap around into a value that happens to
+    // pass the comparison.
     if (st.topo == TopologyKind::Mesh &&
         static_cast<long long>(st.meshRows) * st.meshCols !=
             st.clusters) {
-        error = strfmt("mesh %dx%d does not cover %d clusters",
-                       st.meshRows, st.meshCols, st.clusters);
+        error = strfmt("line %d: mesh %dx%d does not cover %d "
+                       "clusters", st.topologyLine, st.meshRows,
+                       st.meshCols, st.clusters);
         return false;
     }
+    // `regfile queues` is honoured on every topology (each
+    // directed link gets a CQRF); what it always demands on a
+    // multi-cluster machine is a copy unit to drive the links.
     if (st.regfile == RegFileKind::Queues && st.clusters > 1 &&
         st.fus[static_cast<size_t>(FuClass::Copy)] < 1) {
-        error = "a multi-cluster queue-file machine needs copy "
-                "units (fus copy=...)";
+        error = strfmt("line %d: a multi-cluster queue-file "
+                       "machine needs copy units (fus copy=...)",
+                       st.regfileLine);
         return false;
     }
 

@@ -47,6 +47,24 @@ enum class TopologyKind : std::uint8_t {
 /** Lower-case topology mnemonic, e.g. "ring". */
 const char *topologyName(TopologyKind kind);
 
+/**
+ * One directed inter-cluster link of the network: the boundary a
+ * value crosses when a producer in @c src feeds a consumer in
+ * @c dst one hop away. Each link carries its own CQRF, so queue
+ * register allocation is per-link rather than per-ring-direction.
+ */
+struct InterClusterLink
+{
+    ClusterId src = kInvalidCluster;
+    ClusterId dst = kInvalidCluster;
+};
+
+inline bool
+operator==(const InterClusterLink &a, const InterClusterLink &b)
+{
+    return a.src == b.src && a.dst == b.dst;
+}
+
 /** Machine configuration and topology. */
 class MachineModel
 {
@@ -155,6 +173,45 @@ class MachineModel
      */
     void routeBetween(ClusterId a, ClusterId b, int route,
                       std::vector<ClusterId> &out) const;
+
+    /**
+     * @name Directed inter-cluster links
+     *
+     * Every topology enumerates its one-hop links in a fixed,
+     * deterministic order: cluster-major, @c linksPerCluster()
+     * slots per source cluster. Link ids index the per-link CQRFs
+     * of queue register allocation.
+     *
+     *  - ring: slot 0 walks +1, slot 1 walks -1, so link
+     *    2c / 2c+1 is exactly the legacy "CQRF+ / CQRF- of
+     *    cluster c" layout (kept even when the two slots coincide
+     *    on tiny rings);
+     *  - mesh: per source, the distinct torus neighbours in order
+     *    column +1, column -1, row +1, row -1 (dimensions of size
+     *    1 contribute no link, size 2 a single one);
+     *  - crossbar: per source, every other cluster by ascending id.
+     */
+    /// @{
+
+    /** Directed one-hop links leaving each cluster (uniform). */
+    int linksPerCluster() const;
+
+    /** Total directed links; CQRF count of the machine. */
+    int numLinks() const
+    {
+        return num_clusters_ * linksPerCluster();
+    }
+
+    /** Endpoints of link @p id. */
+    InterClusterLink linkAt(int id) const;
+
+    /**
+     * Link id from @p src to @p dst, or -1 when the clusters are
+     * not distinct one-hop neighbours. When two slots of @p src
+     * reach the same @p dst (2-cluster ring), the first slot wins —
+     * matching the legacy "+1 direction first" file choice.
+     */
+    int linkBetween(ClusterId src, ClusterId dst) const;
 
     /// @}
     /** @name Ring-specific queries (assert TopologyKind::Ring) */

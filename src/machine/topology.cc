@@ -38,6 +38,16 @@ torusStep(int from, int to, int n)
     return fwd <= bwd ? +1 : -1;
 }
 
+/**
+ * Distinct one-hop neighbours along a torus dimension of size n:
+ * none for n=1, one for n=2 (+1 and -1 coincide), two otherwise.
+ */
+int
+torusNeighbours(int n)
+{
+    return n >= 3 ? 2 : n - 1;
+}
+
 } // namespace
 
 int
@@ -109,6 +119,75 @@ MachineModel::pathBetween(ClusterId a, ClusterId b, int dir) const
     std::vector<ClusterId> mid;
     pathBetween(a, b, dir, mid);
     return mid;
+}
+
+int
+MachineModel::linksPerCluster() const
+{
+    switch (topo_) {
+      case TopologyKind::Ring:
+        // Always two slots (+1 and -1), even on rings small enough
+        // for them to coincide: the 2c/2c+1 CQRF layout of the ring
+        // machine is part of the allocation's stable output.
+        return 2;
+      case TopologyKind::Mesh:
+        return torusNeighbours(mesh_rows_) +
+               torusNeighbours(mesh_cols_);
+      case TopologyKind::Crossbar:
+        return num_clusters_ - 1;
+    }
+    panic("bad topology kind %d", static_cast<int>(topo_));
+}
+
+InterClusterLink
+MachineModel::linkAt(int id) const
+{
+    DMS_ASSERT(id >= 0 && id < numLinks(), "bad link %d", id);
+    const int per = linksPerCluster();
+    const ClusterId src = static_cast<ClusterId>(id / per);
+    int slot = id % per;
+    switch (topo_) {
+      case TopologyKind::Ring:
+        return {src, neighbor(src, slot == 0 ? +1 : -1)};
+      case TopologyKind::Mesh: {
+        const int r = src / mesh_cols_, c = src % mesh_cols_;
+        const int col_slots = torusNeighbours(mesh_cols_);
+        if (slot < col_slots) {
+            int step = slot == 0 ? +1 : -1;
+            int nc = ((c + step) % mesh_cols_ + mesh_cols_) %
+                     mesh_cols_;
+            return {src,
+                    static_cast<ClusterId>(r * mesh_cols_ + nc)};
+        }
+        slot -= col_slots;
+        int step = slot == 0 ? +1 : -1;
+        int nr =
+            ((r + step) % mesh_rows_ + mesh_rows_) % mesh_rows_;
+        return {src, static_cast<ClusterId>(nr * mesh_cols_ + c)};
+      }
+      case TopologyKind::Crossbar:
+        return {src,
+                static_cast<ClusterId>(slot < src ? slot : slot + 1)};
+    }
+    panic("bad topology kind %d", static_cast<int>(topo_));
+}
+
+int
+MachineModel::linkBetween(ClusterId src, ClusterId dst) const
+{
+    DMS_ASSERT(src >= 0 && src < num_clusters_, "bad cluster %d",
+               src);
+    DMS_ASSERT(dst >= 0 && dst < num_clusters_, "bad cluster %d",
+               dst);
+    if (src == dst)
+        return -1;
+    const int per = linksPerCluster();
+    for (int slot = 0; slot < per; ++slot) {
+        int id = src * per + slot;
+        if (linkAt(id).dst == dst)
+            return id;
+    }
+    return -1;
 }
 
 int

@@ -38,13 +38,19 @@ computeLifetimes(const Ddg &ddg, const MachineModel &machine,
             lt.location = QueueLocation::Lrf;
             lt.cluster = cs;
         } else {
-            DMS_ASSERT(machine.ringDistance(cs, cd) == 1,
+            DMS_ASSERT(machine.distance(cs, cd) == 1,
                        "lifetime spans %d hops",
-                       machine.ringDistance(cs, cd));
+                       machine.distance(cs, cd));
             lt.location = QueueLocation::Cqrf;
             lt.cluster = cs;
-            lt.direction =
-                machine.neighbor(cs, +1) == cd ? +1 : -1;
+            lt.link = machine.linkBetween(cs, cd);
+            DMS_ASSERT(lt.link >= 0,
+                       "no link between adjacent clusters %d->%d",
+                       cs, cd);
+            if (machine.topology() == TopologyKind::Ring) {
+                lt.direction =
+                    machine.neighbor(cs, +1) == cd ? +1 : -1;
+            }
         }
         out.push_back(lt);
     }

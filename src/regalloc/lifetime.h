@@ -10,6 +10,13 @@
  * computes per-edge spans and queue depths; queue assignment is in
  * queue_alloc.h (substrate from Fernandes/Llosa/Topham,
  * EURO-PAR'97 [5]).
+ *
+ * Cross-cluster lifetimes live in the CQRF of the directed link
+ * they cross (MachineModel::linkBetween), on any topology. A
+ * multi-hop communication is realized by the scheduler as a chain
+ * of one-hop move operations, so each hop of the route is its own
+ * flow edge — and therefore its own lifetime occupying a queue
+ * slot on every traversed link.
  */
 
 #include <vector>
@@ -52,14 +59,31 @@ struct Lifetime
     /** LRF: owning cluster. CQRF: the *writer's* cluster. */
     ClusterId cluster = kInvalidCluster;
 
-    /** CQRF only: ring direction from writer to reader (+1/-1). */
+    /**
+     * CQRF only: the directed link whose queue file holds the
+     * value (MachineModel::linkAt index). -1 for LRF lifetimes.
+     */
+    int link = -1;
+
+    /**
+     * CQRF on a ring only: direction from writer to reader
+     * (+1/-1), the legacy per-cluster view of the link. 0 on other
+     * topologies and for LRF lifetimes.
+     */
     int direction = 0;
+
+    /**
+     * Queue number inside the lifetime's file, assigned by
+     * allocateQueues in lifetime order (-1 before assignment).
+     */
+    int queueIndex = -1;
 };
 
 /**
  * Compute the lifetime of every active flow edge between scheduled
  * ops. On clustered machines every edge must be intra-cluster or
- * one hop (the schedule verifier enforces this first).
+ * one hop on any topology (the schedule verifier enforces this
+ * first; longer routes appear as chains of one-hop move edges).
  */
 std::vector<Lifetime> computeLifetimes(const Ddg &ddg,
                                        const MachineModel &machine,

@@ -12,35 +12,40 @@ allocateQueues(const Ddg &ddg, const MachineModel &machine,
 {
     QueueAllocation alloc;
     alloc.lifetimes = computeLifetimes(ddg, machine, ps);
+    alloc.topology = machine.topology();
     alloc.lrf.assign(static_cast<size_t>(machine.numClusters()), {});
-    alloc.cqrf.assign(
-        static_cast<size_t>(machine.numClusters()) * 2, {});
 
-    auto account = [](QueueFileStats &f, const Lifetime &lt) {
+    const int nlinks = machine.numLinks();
+    alloc.cqrf.assign(static_cast<size_t>(nlinks), {});
+    alloc.links.resize(static_cast<size_t>(nlinks));
+    for (int l = 0; l < nlinks; ++l)
+        alloc.links[static_cast<size_t>(l)] = machine.linkAt(l);
+
+    for (Lifetime &lt : alloc.lifetimes) {
+        QueueFileStats &f =
+            lt.location == QueueLocation::Lrf
+                ? alloc.lrf[static_cast<size_t>(lt.cluster)]
+                : alloc.cqrf[static_cast<size_t>(lt.link)];
+        lt.queueIndex = f.queues;
         ++f.queues;
         f.maxDepth = std::max(f.maxDepth, lt.depth);
         f.totalDepth += lt.depth;
-    };
-
-    for (const Lifetime &lt : alloc.lifetimes) {
-        if (lt.location == QueueLocation::Lrf) {
-            account(alloc.lrf[static_cast<size_t>(lt.cluster)], lt);
-        } else {
-            size_t idx = static_cast<size_t>(lt.cluster) * 2 +
-                         (lt.direction > 0 ? 0 : 1);
-            account(alloc.cqrf[idx], lt);
-        }
     }
 
     for (const QueueFileStats &f : alloc.lrf) {
         alloc.totalStorage += f.totalDepth;
         alloc.maxQueuesPerFile =
             std::max(alloc.maxQueuesPerFile, f.queues);
+        alloc.filesUsed += f.queues > 0;
     }
     for (const QueueFileStats &f : alloc.cqrf) {
         alloc.totalStorage += f.totalDepth;
         alloc.maxQueuesPerFile =
             std::max(alloc.maxQueuesPerFile, f.queues);
+        alloc.linksUsed += f.queues > 0;
+        alloc.filesUsed += f.queues > 0;
+        alloc.maxQueuesPerLink =
+            std::max(alloc.maxQueuesPerLink, f.queues);
     }
     return alloc;
 }
@@ -52,11 +57,26 @@ QueueAllocation::summary() const
                            "max %d queues/file\n",
                            lifetimes.size(), totalStorage,
                            maxQueuesPerFile);
+    if (topology == TopologyKind::Ring) {
+        // The ring's two links per cluster are its CQRF+/CQRF-.
+        for (size_t c = 0; c < lrf.size(); ++c) {
+            s += strfmt("  cluster %zu: LRF %d queues (max depth "
+                        "%d), CQRF+ %d queues, CQRF- %d queues\n",
+                        c, lrf[c].queues, lrf[c].maxDepth,
+                        cqrf[c * 2].queues, cqrf[c * 2 + 1].queues);
+        }
+        return s;
+    }
     for (size_t c = 0; c < lrf.size(); ++c) {
-        s += strfmt("  cluster %zu: LRF %d queues (max depth %d), "
-                    "CQRF+ %d queues, CQRF- %d queues\n",
-                    c, lrf[c].queues, lrf[c].maxDepth,
-                    cqrf[c * 2].queues, cqrf[c * 2 + 1].queues);
+        s += strfmt("  cluster %zu: LRF %d queues (max depth %d)\n",
+                    c, lrf[c].queues, lrf[c].maxDepth);
+    }
+    for (size_t l = 0; l < cqrf.size(); ++l) {
+        if (cqrf[l].queues == 0)
+            continue;
+        s += strfmt("  link c%d->c%d: %d queues (max depth %d)\n",
+                    links[l].src, links[l].dst, cqrf[l].queues,
+                    cqrf[l].maxDepth);
     }
     return s;
 }

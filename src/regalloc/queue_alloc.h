@@ -5,13 +5,15 @@
  * @file
  * Queue register allocation. Each lifetime is assigned its own FIFO
  * queue in the producer-side LRF (intra-cluster) or the CQRF of the
- * crossed boundary (adjacent clusters). Because one lifetime's
- * instances enter and leave strictly in iteration order, a private
- * queue is always FIFO-feasible; the allocator therefore reports
- * the per-file queue counts and depths the hardware must provide
- * (the EURO-PAR'97 paper [5] additionally shares queues between
- * compatible lifetimes; we keep one queue per lifetime and report
- * the requirement).
+ * crossed inter-cluster link (one file per directed link, on any
+ * topology — the ring's two per-cluster directions, a mesh's torus
+ * neighbours, or a crossbar's full pair set). Because one
+ * lifetime's instances enter and leave strictly in iteration order,
+ * a private queue is always FIFO-feasible; the allocator therefore
+ * reports the per-file queue counts and depths the hardware must
+ * provide (the EURO-PAR'97 paper [5] additionally shares queues
+ * between compatible lifetimes; we keep one queue per lifetime and
+ * report the requirement).
  */
 
 #include <string>
@@ -38,17 +40,38 @@ struct QueueAllocation
     std::vector<QueueFileStats> lrf;
 
     /**
-     * CQRF per (cluster, direction): index 2*c for the file written
-     * by cluster c toward neighbor(c, +1) and 2*c+1 toward
-     * neighbor(c, -1).
+     * CQRF of each directed inter-cluster link, indexed by link id
+     * (MachineModel::linkAt order). On a ring this is the legacy
+     * layout exactly: index 2*c is the file written by cluster c
+     * toward neighbor(c, +1) and 2*c+1 toward neighbor(c, -1).
      */
     std::vector<QueueFileStats> cqrf;
+
+    /** Endpoints of each CQRF's link, parallel to @c cqrf. */
+    std::vector<InterClusterLink> links;
+
+    /** Topology the allocation was made for (summary format). */
+    TopologyKind topology = TopologyKind::Ring;
 
     /** Aggregate storage positions across all files. */
     int totalStorage = 0;
 
     /** Largest queue count needed in any single file. */
     int maxQueuesPerFile = 0;
+
+    /** @name Per-link pressure */
+    /// @{
+
+    /** Links whose CQRF holds at least one queue. */
+    int linksUsed = 0;
+
+    /** Largest queue count needed on any single link's CQRF. */
+    int maxQueuesPerLink = 0;
+
+    /** Files (LRF and CQRF) holding at least one queue. */
+    int filesUsed = 0;
+
+    /// @}
 
     std::string summary() const;
 };

@@ -27,12 +27,18 @@ exitPhase(const Lifetime &lt, const Ddg &ddg,
            static_cast<long>(ps.ii()) * ddg.edge(lt.edge).distance;
 }
 
-/** Register-file identity for grouping. */
-std::tuple<int, int, int>
+/**
+ * Register-file identity for grouping: the owning cluster's LRF or
+ * the crossed link's CQRF. Ring lifetimes carry both a direction
+ * and a link (the latter determined by the former), so keeping the
+ * direction in the key preserves the legacy group order; on other
+ * topologies the direction is 0 and the link discriminates.
+ */
+std::tuple<int, int, int, int>
 fileKey(const Lifetime &lt)
 {
     return {static_cast<int>(lt.location), lt.cluster,
-            lt.direction};
+            lt.direction, lt.link};
 }
 
 } // namespace
@@ -71,7 +77,8 @@ shareQueues(const QueueAllocation &alloc, const Ddg &ddg,
     out.queuesBefore = static_cast<int>(alloc.lifetimes.size());
 
     // Group lifetimes per register file.
-    std::map<std::tuple<int, int, int>, std::vector<int>> files;
+    std::map<std::tuple<int, int, int, int>, std::vector<int>>
+        files;
     for (size_t i = 0; i < alloc.lifetimes.size(); ++i) {
         files[fileKey(alloc.lifetimes[i])].push_back(
             static_cast<int>(i));

@@ -64,8 +64,8 @@ bool canShareQueue(const Lifetime &a, const Lifetime &b, int ii,
 /**
  * Greedy first-fit sharing over a complete allocation. Lifetimes
  * are grouped per register file (LRF per cluster, CQRF per
- * boundary and direction) and packed into the fewest queues the
- * greedy order finds.
+ * directed inter-cluster link) and packed into the fewest queues
+ * the greedy order finds.
  */
 SharedAllocation shareQueues(const QueueAllocation &alloc,
                              const Ddg &ddg,

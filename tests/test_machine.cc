@@ -115,6 +115,91 @@ TEST(Topology, TheTwoChainOptionsOfFigure3)
     EXPECT_EQ(m.pathBetween(0, 3, -1).size(), 4u);
 }
 
+TEST(Links, RingLayoutMatchesLegacyDirections)
+{
+    // The ring's link ids are the legacy CQRF layout: 2c toward
+    // neighbor(c, +1), 2c+1 toward neighbor(c, -1).
+    for (int clusters : {2, 4, 8}) {
+        MachineModel m = MachineModel::clusteredRing(clusters);
+        EXPECT_EQ(m.linksPerCluster(), 2);
+        EXPECT_EQ(m.numLinks(), 2 * clusters);
+        for (ClusterId c = 0; c < clusters; ++c) {
+            EXPECT_EQ(m.linkAt(2 * c).src, c);
+            EXPECT_EQ(m.linkAt(2 * c).dst, m.neighbor(c, +1));
+            EXPECT_EQ(m.linkAt(2 * c + 1).src, c);
+            EXPECT_EQ(m.linkAt(2 * c + 1).dst, m.neighbor(c, -1));
+            EXPECT_EQ(m.linkBetween(c, m.neighbor(c, +1)), 2 * c);
+        }
+    }
+    // On a 2-ring both slots reach the same neighbour; the +1 slot
+    // wins, exactly like the legacy direction choice.
+    MachineModel two = MachineModel::clusteredRing(2);
+    EXPECT_EQ(two.linkAt(0).dst, 1);
+    EXPECT_EQ(two.linkAt(1).dst, 1);
+    EXPECT_EQ(two.linkBetween(0, 1), 0);
+    EXPECT_EQ(two.linkBetween(1, 0), 2);
+}
+
+TEST(Links, MeshLinksAreTheDistinctTorusNeighbours)
+{
+    MachineModel m = MachineModel::custom(
+        9, RegFileKind::Queues, {1, 1, 1, 1}, TopologyKind::Mesh,
+        3, 3);
+    EXPECT_EQ(m.linksPerCluster(), 4);
+    EXPECT_EQ(m.numLinks(), 36);
+    // Every link is one hop; every one-hop ordered pair has
+    // exactly one link.
+    int found = 0;
+    for (int id = 0; id < m.numLinks(); ++id) {
+        InterClusterLink l = m.linkAt(id);
+        EXPECT_EQ(m.distance(l.src, l.dst), 1);
+        EXPECT_EQ(m.linkBetween(l.src, l.dst), id);
+        ++found;
+    }
+    int adjacent = 0;
+    for (ClusterId a = 0; a < 9; ++a)
+        for (ClusterId b = 0; b < 9; ++b)
+            adjacent += a != b && m.distance(a, b) == 1;
+    EXPECT_EQ(found, adjacent);
+
+    // Dimensions of size 2 fold the +1/-1 neighbours into one
+    // link; size 1 contributes none.
+    MachineModel narrow = MachineModel::custom(
+        6, RegFileKind::Queues, {1, 1, 1, 1}, TopologyKind::Mesh,
+        2, 3);
+    EXPECT_EQ(narrow.linksPerCluster(), 3);
+    MachineModel row = MachineModel::custom(
+        4, RegFileKind::Queues, {1, 1, 1, 1}, TopologyKind::Mesh,
+        1, 4);
+    EXPECT_EQ(row.linksPerCluster(), 2);
+    MachineModel pair = MachineModel::custom(
+        2, RegFileKind::Queues, {1, 1, 1, 1}, TopologyKind::Mesh,
+        1, 2);
+    EXPECT_EQ(pair.linksPerCluster(), 1);
+    EXPECT_EQ(pair.linkBetween(0, 1), 0);
+    EXPECT_EQ(pair.linkBetween(1, 0), 1);
+}
+
+TEST(Links, CrossbarLinksCoverEveryOrderedPair)
+{
+    MachineModel m = MachineModel::custom(
+        5, RegFileKind::Queues, {1, 1, 1, 1},
+        TopologyKind::Crossbar);
+    EXPECT_EQ(m.linksPerCluster(), 4);
+    EXPECT_EQ(m.numLinks(), 20);
+    for (ClusterId a = 0; a < 5; ++a) {
+        EXPECT_EQ(m.linkBetween(a, a), -1);
+        for (ClusterId b = 0; b < 5; ++b) {
+            if (a == b)
+                continue;
+            int id = m.linkBetween(a, b);
+            ASSERT_GE(id, 0);
+            EXPECT_EQ(m.linkAt(id).src, a);
+            EXPECT_EQ(m.linkAt(id).dst, b);
+        }
+    }
+}
+
 TEST(Reservation, PlaceAndClear)
 {
     MachineModel m = MachineModel::clusteredRing(2);

@@ -180,4 +180,50 @@ TEST(MachineDesc, RejectsMalformedInput)
               std::string::npos);
 }
 
+TEST(MachineDesc, QueueFileMeshAndCrossbarAreHonoured)
+{
+    // `regfile queues` used to parse on a mesh and then be
+    // silently ignored by the regalloc stage; it is a first-class
+    // combination now, so the parser must hand back the queue-file
+    // machine with its per-link structure intact.
+    MachineModel mesh = parseOk("clusters 6\n"
+                                "topology mesh 2x3\n"
+                                "regfile queues\n"
+                                "fus ldst=1 add=1 mul=1 copy=1\n");
+    EXPECT_TRUE(mesh.clustered());
+    EXPECT_EQ(mesh.regFileKind(), RegFileKind::Queues);
+    // rows=2 contributes one link per cluster, cols=3 two.
+    EXPECT_EQ(mesh.linksPerCluster(), 3);
+    EXPECT_EQ(mesh.numLinks(), 18);
+
+    MachineModel xbar = parseOk("clusters 4\n"
+                                "topology crossbar\n"
+                                "regfile queues\n"
+                                "fus ldst=1 add=1 mul=1 copy=1\n");
+    EXPECT_TRUE(xbar.clustered());
+    EXPECT_EQ(xbar.numLinks(), 12);
+}
+
+TEST(MachineDesc, CrossLineErrorsPointAtTheOffendingLine)
+{
+    // The mesh/cluster mismatch is only detectable at end of
+    // parse, but the diagnostic still names the topology line.
+    std::string err = parseError("clusters 5\n"
+                                 "topology mesh 2x2\n"
+                                 "regfile queues\n"
+                                 "fus copy=1\n");
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+    EXPECT_NE(err.find("does not cover"), std::string::npos) << err;
+
+    // A queue-file machine without copy units: blamed on the
+    // regfile line that demanded the queues.
+    err = parseError("clusters 6\n"
+                     "topology mesh 2x3\n"
+                     "regfile queues\n"
+                     "fus copy=0\n");
+    EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+    EXPECT_NE(err.find("needs copy units"), std::string::npos)
+        << err;
+}
+
 } // namespace

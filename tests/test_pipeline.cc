@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "baseline/twophase.h"
 #include "core/pipeline.h"
 #include "eval/runner.h"
@@ -89,6 +91,19 @@ legacyClustered(const Loop &loop, int clusters)
     run.movesInserted = out.sched.movesInserted;
     checkSchedule(*out.ddg, machine, *out.sched.schedule);
     legacyFillPerf(run, *out.ddg, *out.sched.schedule);
+
+    // Queue pressure, recounted here from the raw allocation as an
+    // independent check of the regalloc->perf->LoopRun plumbing.
+    QueueAllocation qa =
+        allocateQueues(*out.ddg, machine, *out.sched.schedule);
+    run.queuesRequired = static_cast<int>(qa.lifetimes.size());
+    run.queueStorage = qa.totalStorage;
+    for (const QueueFileStats &f : qa.lrf)
+        run.queueFiles += f.queues > 0;
+    for (const QueueFileStats &f : qa.cqrf) {
+        run.queueFiles += f.queues > 0;
+        run.maxLinkQueues = std::max(run.maxLinkQueues, f.queues);
+    }
     return run;
 }
 
@@ -295,6 +310,58 @@ TEST(Pipeline, DmsRunsOnCrossbarAndMeshTopologies)
             EXPECT_EQ(ctx.result.sched.movesInserted, 0);
         }
     }
+}
+
+TEST(Pipeline, RegallocRunsOnEveryQueueFileTopology)
+{
+    // The regalloc stage must not skip any queue-file machine:
+    // ring, mesh and crossbar all get an allocation, and the perf
+    // record carries the pressure numbers.
+    Loop loop = kernelFir8();
+    for (const char *desc :
+         {"clusters 6\ntopology ring\nregfile queues\n"
+          "fus ldst=1 add=1 mul=1 copy=1\n",
+          "clusters 6\ntopology mesh 2x3\nregfile queues\n"
+          "fus ldst=1 add=1 mul=1 copy=1\n",
+          "clusters 6\ntopology crossbar\nregfile queues\n"
+          "fus ldst=1 add=1 mul=1 copy=1\n"}) {
+        MachineModel machine = machineFromTextOrDie(desc);
+        PipelineOptions po;
+        po.regalloc = true;
+        Pipeline pipeline(po);
+        CompilationContext ctx;
+        ASSERT_TRUE(pipeline.run(loop, machine, ctx))
+            << machine.describe();
+        ASSERT_TRUE(ctx.queuesValid) << machine.describe();
+        EXPECT_FALSE(ctx.queues.lifetimes.empty());
+        EXPECT_GT(ctx.perf.queues, 0) << machine.describe();
+        EXPECT_GT(ctx.perf.queueFiles, 0) << machine.describe();
+        EXPECT_GT(ctx.perf.queueStorage, 0) << machine.describe();
+        // Every CQRF lifetime crosses a real link of the topology.
+        for (const Lifetime &lt : ctx.queues.lifetimes) {
+            if (lt.location != QueueLocation::Cqrf)
+                continue;
+            ASSERT_GE(lt.link, 0);
+            ASSERT_LT(lt.link, machine.numLinks());
+            EXPECT_EQ(machine.linkAt(lt.link).src, lt.cluster);
+            EXPECT_EQ(machine.distance(
+                          machine.linkAt(lt.link).src,
+                          machine.linkAt(lt.link).dst),
+                      1);
+        }
+    }
+
+    // A conventional machine has no queue files: stage skips and
+    // the perf record stays clean.
+    PipelineOptions po;
+    po.scheduler = "ims";
+    po.regalloc = true;
+    Pipeline pipeline(po);
+    CompilationContext plain;
+    ASSERT_TRUE(
+        pipeline.run(loop, MachineModel::unclustered(6), plain));
+    EXPECT_FALSE(plain.queuesValid);
+    EXPECT_EQ(plain.perf.queues, 0);
 }
 
 } // namespace

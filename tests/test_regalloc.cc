@@ -6,11 +6,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "core/dms.h"
 #include "ir/prepass.h"
-#include "regalloc/queue_alloc.h"
+#include "regalloc/sharing.h"
 #include "sched/ims.h"
 #include "workload/kernels.h"
+#include "workload/synth.h"
 
 namespace dms {
 namespace {
@@ -158,6 +165,286 @@ TEST(QueueAlloc, UnclusteredEverythingIsLrf)
     for (const Lifetime &lt : qa.lifetimes)
         EXPECT_EQ(lt.location, QueueLocation::Lrf);
     EXPECT_EQ(qa.cqrf[0].queues + qa.cqrf[1].queues, 0);
+}
+
+TEST(QueueAlloc, RingResultsBitIdenticalToPrePerLinkModel)
+{
+    // FNV-1a over every lifetime field, per-file stat and sharing
+    // decision of the DMS ring schedules, pinned to the value the
+    // pre-per-link allocator produced. The ring's CQRFs must be
+    // the same files in the same order (2c = +1, 2c+1 = -1) with
+    // the same members — the per-link generalization is not
+    // allowed to move a single queue.
+    auto fnv = [](std::uint64_t h, long v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= static_cast<std::uint64_t>(v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+        return h;
+    };
+
+    std::uint64_t h = 1469598103934665603ull;
+    for (int clusters : {2, 4, 8}) {
+        for (const Loop &k : namedKernels()) {
+            MachineModel m = MachineModel::clusteredRing(clusters);
+            Ddg body = k.ddg;
+            singleUsePrepass(body, m.latencyOf(Opcode::Copy));
+            DmsOutcome out = scheduleDms(body, m);
+            if (!out.sched.ok)
+                continue;
+            QueueAllocation qa =
+                allocateQueues(*out.ddg, m, *out.sched.schedule);
+            for (const Lifetime &lt : qa.lifetimes) {
+                h = fnv(h, lt.edge);
+                h = fnv(h, lt.def);
+                h = fnv(h, lt.use);
+                h = fnv(h, lt.span);
+                h = fnv(h, lt.depth);
+                h = fnv(h, static_cast<long>(lt.location));
+                h = fnv(h, lt.cluster);
+                h = fnv(h, lt.direction);
+            }
+            for (const QueueFileStats &f : qa.lrf) {
+                h = fnv(h, f.queues);
+                h = fnv(h, f.maxDepth);
+                h = fnv(h, f.totalDepth);
+            }
+            for (const QueueFileStats &f : qa.cqrf) {
+                h = fnv(h, f.queues);
+                h = fnv(h, f.maxDepth);
+                h = fnv(h, f.totalDepth);
+            }
+            h = fnv(h, qa.totalStorage);
+            h = fnv(h, qa.maxQueuesPerFile);
+
+            SharedAllocation sa =
+                shareQueues(qa, *out.ddg, *out.sched.schedule);
+            h = fnv(h, sa.queuesBefore);
+            h = fnv(h, sa.queuesAfter);
+            for (const SharedQueue &q : sa.queues) {
+                h = fnv(h, q.depth);
+                for (int mem : q.members)
+                    h = fnv(h, mem);
+            }
+        }
+    }
+    EXPECT_EQ(h, 0x555973e8cd5799afull);
+}
+
+TEST(Lifetimes, MeshLifetimeLandsOnTheCrossedLink)
+{
+    // Clusters 0 and 3 of a 2x3 torus mesh are row neighbours
+    // (numbering distance 3, topology distance 1): the lifetime
+    // lives in the CQRF of the 0->3 link, with no ring direction.
+    LoopBuilder b;
+    OpId ld = b.load(0);
+    OpId st = b.store(1, ld);
+    Ddg g = b.take();
+    MachineModel m = MachineModel::custom(
+        6, RegFileKind::Queues, {1, 1, 1, 1}, TopologyKind::Mesh,
+        2, 3);
+    PartialSchedule ps(g, m, 2);
+    ASSERT_TRUE(ps.tryPlace(ld, 0, 0));
+    ASSERT_TRUE(ps.tryPlace(st, 2, 3));
+
+    auto lts = computeLifetimes(g, m, ps);
+    ASSERT_EQ(lts.size(), 1u);
+    EXPECT_EQ(lts[0].location, QueueLocation::Cqrf);
+    EXPECT_EQ(lts[0].cluster, 0);
+    EXPECT_EQ(lts[0].link, m.linkBetween(0, 3));
+    EXPECT_EQ(lts[0].direction, 0);
+
+    QueueAllocation qa = allocateQueues(g, m, ps);
+    ASSERT_EQ(static_cast<int>(qa.cqrf.size()), m.numLinks());
+    EXPECT_EQ(qa.cqrf[static_cast<size_t>(lts[0].link)].queues, 1);
+    EXPECT_EQ(qa.linksUsed, 1);
+    EXPECT_EQ(qa.maxQueuesPerLink, 1);
+}
+
+TEST(Lifetimes, MeshChainOccupiesEveryRouteHop)
+{
+    // A two-hop communication c0 -> c1 -> c4 (column then row on
+    // the 2x3 torus) is two one-hop lifetimes: one queue slot on
+    // every traversed link, none anywhere else.
+    LoopBuilder b;
+    OpId ld = b.load(0);
+    OpId a = b.add1(ld);
+    OpId st = b.store(1, a);
+    Ddg g = b.take();
+    MachineModel m = MachineModel::custom(
+        6, RegFileKind::Queues, {1, 1, 1, 1}, TopologyKind::Mesh,
+        2, 3);
+    PartialSchedule ps(g, m, 4);
+    ASSERT_TRUE(ps.tryPlace(ld, 0, 0));
+    ASSERT_TRUE(ps.tryPlace(a, 2, 1));
+    ASSERT_TRUE(ps.tryPlace(st, 4, 4));
+
+    QueueAllocation qa = allocateQueues(g, m, ps);
+    ASSERT_EQ(qa.lifetimes.size(), 2u);
+    int hop1 = m.linkBetween(0, 1);
+    int hop2 = m.linkBetween(1, 4);
+    ASSERT_GE(hop1, 0);
+    ASSERT_GE(hop2, 0);
+    EXPECT_EQ(qa.cqrf[static_cast<size_t>(hop1)].queues, 1);
+    EXPECT_EQ(qa.cqrf[static_cast<size_t>(hop2)].queues, 1);
+    EXPECT_EQ(qa.linksUsed, 2);
+    int total_cqrf = 0;
+    for (const QueueFileStats &f : qa.cqrf)
+        total_cqrf += f.queues;
+    EXPECT_EQ(total_cqrf, 2);
+}
+
+TEST(Lifetimes, CrossbarMatchesRingOnAdjacentClusters)
+{
+    // The same placement on a 4-ring and a 4-crossbar: identical
+    // spans, depths and storage; only the file naming differs
+    // (ring direction vs direct link).
+    LoopBuilder b1;
+    OpId ld1 = b1.load(0);
+    OpId st1 = b1.store(1, ld1);
+    Ddg g1 = b1.take();
+    MachineModel ring = MachineModel::clusteredRing(4);
+    PartialSchedule psr(g1, ring, 2);
+    ASSERT_TRUE(psr.tryPlace(ld1, 0, 1));
+    ASSERT_TRUE(psr.tryPlace(st1, 2, 2));
+    QueueAllocation qr = allocateQueues(g1, ring, psr);
+
+    LoopBuilder b2;
+    OpId ld2 = b2.load(0);
+    OpId st2 = b2.store(1, ld2);
+    Ddg g2 = b2.take();
+    MachineModel xbar = MachineModel::custom(
+        4, RegFileKind::Queues, {1, 1, 1, 1},
+        TopologyKind::Crossbar);
+    PartialSchedule psx(g2, xbar, 2);
+    ASSERT_TRUE(psx.tryPlace(ld2, 0, 1));
+    ASSERT_TRUE(psx.tryPlace(st2, 2, 2));
+    QueueAllocation qx = allocateQueues(g2, xbar, psx);
+
+    ASSERT_EQ(qr.lifetimes.size(), 1u);
+    ASSERT_EQ(qx.lifetimes.size(), 1u);
+    EXPECT_EQ(qr.lifetimes[0].span, qx.lifetimes[0].span);
+    EXPECT_EQ(qr.lifetimes[0].depth, qx.lifetimes[0].depth);
+    EXPECT_EQ(qx.lifetimes[0].location, QueueLocation::Cqrf);
+    EXPECT_EQ(qx.lifetimes[0].link, xbar.linkBetween(1, 2));
+    EXPECT_EQ(qx.lifetimes[0].direction, 0);
+    EXPECT_EQ(qr.totalStorage, qx.totalStorage);
+    EXPECT_EQ(qr.maxQueuesPerFile, qx.maxQueuesPerFile);
+
+    // And a pair that is distant on the ring is still one hop on
+    // the crossbar: the lifetime is legal there.
+    LoopBuilder b3;
+    OpId ld3 = b3.load(0);
+    OpId st3 = b3.store(1, ld3);
+    Ddg g3 = b3.take();
+    PartialSchedule far(g3, xbar, 2);
+    ASSERT_TRUE(far.tryPlace(ld3, 0, 0));
+    ASSERT_TRUE(far.tryPlace(st3, 2, 2));
+    QueueAllocation qf = allocateQueues(g3, xbar, far);
+    ASSERT_EQ(qf.lifetimes.size(), 1u);
+    EXPECT_EQ(qf.lifetimes[0].link, xbar.linkBetween(0, 2));
+}
+
+TEST(QueueAlloc, FuzzPerLinkPressureMatchesBruteForceRecount)
+{
+    // Random loops, every topology: the allocator's per-file stats
+    // must equal a direct recount over the scheduled flow edges,
+    // and queue indices must enumerate each file densely.
+    std::vector<MachineModel> machines;
+    machines.push_back(MachineModel::clusteredRing(4));
+    machines.push_back(MachineModel::custom(
+        6, RegFileKind::Queues, {1, 1, 1, 1}, TopologyKind::Mesh,
+        2, 3));
+    machines.push_back(MachineModel::custom(
+        5, RegFileKind::Queues, {1, 1, 1, 1},
+        TopologyKind::Crossbar));
+
+    int checked = 0;
+    for (const Loop &k : synthesizeSuite(1234, 30)) {
+        for (const MachineModel &m : machines) {
+            Ddg body = k.ddg;
+            singleUsePrepass(body, m.latencyOf(Opcode::Copy));
+            DmsOutcome out = scheduleDms(body, m);
+            if (!out.sched.ok)
+                continue;
+            const PartialSchedule &ps = *out.sched.schedule;
+            const Ddg &g = *out.ddg;
+            QueueAllocation qa = allocateQueues(g, m, ps);
+
+            std::vector<QueueFileStats> lrf(
+                static_cast<size_t>(m.numClusters()));
+            std::vector<QueueFileStats> cqrf(
+                static_cast<size_t>(m.numLinks()));
+            const int ii = ps.ii();
+            for (EdgeId e = 0; e < g.numEdges(); ++e) {
+                if (!g.edgeActive(e) ||
+                    g.edge(e).kind != DepKind::Flow) {
+                    continue;
+                }
+                const Edge &ed = g.edge(e);
+                if (!ps.isScheduled(ed.src) ||
+                    !ps.isScheduled(ed.dst)) {
+                    continue;
+                }
+                int span = ps.timeOf(ed.dst) + ii * ed.distance -
+                           ps.timeOf(ed.src) - ed.latency;
+                int depth = span / ii + 1;
+                ClusterId cs = ps.clusterOf(ed.src);
+                ClusterId cd = ps.clusterOf(ed.dst);
+                QueueFileStats &f =
+                    cs == cd
+                        ? lrf[static_cast<size_t>(cs)]
+                        : cqrf[static_cast<size_t>(
+                              m.linkBetween(cs, cd))];
+                ++f.queues;
+                f.maxDepth = std::max(f.maxDepth, depth);
+                f.totalDepth += depth;
+            }
+
+            int max_link = 0, links_used = 0, storage = 0;
+            for (size_t i = 0; i < lrf.size(); ++i) {
+                EXPECT_EQ(qa.lrf[i].queues, lrf[i].queues);
+                EXPECT_EQ(qa.lrf[i].maxDepth, lrf[i].maxDepth);
+                EXPECT_EQ(qa.lrf[i].totalDepth, lrf[i].totalDepth);
+                storage += lrf[i].totalDepth;
+            }
+            for (size_t i = 0; i < cqrf.size(); ++i) {
+                EXPECT_EQ(qa.cqrf[i].queues, cqrf[i].queues);
+                EXPECT_EQ(qa.cqrf[i].maxDepth, cqrf[i].maxDepth);
+                EXPECT_EQ(qa.cqrf[i].totalDepth,
+                          cqrf[i].totalDepth);
+                max_link = std::max(max_link, cqrf[i].queues);
+                links_used += cqrf[i].queues > 0;
+                storage += cqrf[i].totalDepth;
+            }
+            EXPECT_EQ(qa.maxQueuesPerLink, max_link);
+            EXPECT_EQ(qa.linksUsed, links_used);
+            EXPECT_EQ(qa.totalStorage, storage);
+
+            // queueIndex enumerates each file 0..queues-1.
+            std::map<std::pair<int, int>, std::vector<int>> seen;
+            for (const Lifetime &lt : qa.lifetimes) {
+                int file = lt.location == QueueLocation::Lrf
+                               ? lt.cluster
+                               : lt.link;
+                seen[{static_cast<int>(lt.location), file}]
+                    .push_back(lt.queueIndex);
+            }
+            for (auto &[key, idxs] : seen) {
+                const QueueFileStats &f =
+                    key.first ==
+                            static_cast<int>(QueueLocation::Lrf)
+                        ? qa.lrf[static_cast<size_t>(key.second)]
+                        : qa.cqrf[static_cast<size_t>(key.second)];
+                EXPECT_EQ(static_cast<int>(idxs.size()), f.queues);
+                std::sort(idxs.begin(), idxs.end());
+                for (size_t i = 0; i < idxs.size(); ++i)
+                    EXPECT_EQ(idxs[i], static_cast<int>(i));
+            }
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 30);
 }
 
 TEST(QueueAlloc, DepthGrowsWithStageDistance)

@@ -174,6 +174,64 @@ TEST(Sharing, ReducesQueuesSomewhere)
     EXPECT_GT(reduced, 5);
 }
 
+TEST(Sharing, DifferentLinksNeverShareOnACrossbar)
+{
+    // Two lifetimes leaving cluster 0 for different clusters of a
+    // crossbar have phase patterns that would be compatible in one
+    // file — but they cross different links, so each CQRF keeps
+    // its own queue.
+    Fixture f;
+    MachineModel m = MachineModel::custom(
+        3, RegFileKind::Queues, {2, 2, 2, 1},
+        TopologyKind::Crossbar);
+    PartialSchedule ps(f.ddg, m, 4);
+    ASSERT_TRUE(ps.tryPlace(f.ld0, 0, 0));
+    ASSERT_TRUE(ps.tryPlace(f.st0, 4, 1)); // link 0->1
+    ASSERT_TRUE(ps.tryPlace(f.ld1, 1, 0));
+    ASSERT_TRUE(ps.tryPlace(f.st1, 6, 2)); // link 0->2
+
+    QueueAllocation qa = allocateQueues(f.ddg, m, ps);
+    ASSERT_EQ(qa.lifetimes.size(), 2u);
+    EXPECT_NE(qa.lifetimes[0].link, qa.lifetimes[1].link);
+    EXPECT_FALSE(canShareQueue(qa.lifetimes[0], qa.lifetimes[1], 4,
+                               f.ddg, ps));
+    SharedAllocation sa = shareQueues(qa, f.ddg, ps);
+    EXPECT_EQ(sa.queuesAfter, 2);
+}
+
+TEST(Sharing, MeshSharingStaysWithinOneLink)
+{
+    // End to end on a torus mesh: after sharing, every queue's
+    // members live in the same file — same location, same cluster,
+    // same link.
+    MachineModel m = MachineModel::custom(
+        6, RegFileKind::Queues, {1, 1, 1, 1}, TopologyKind::Mesh,
+        2, 3);
+    for (const Loop &k : namedKernels()) {
+        Ddg body = k.ddg;
+        singleUsePrepass(body, m.latencyOf(Opcode::Copy));
+        DmsOutcome out = scheduleDms(body, m);
+        ASSERT_TRUE(out.sched.ok) << k.name;
+        QueueAllocation qa =
+            allocateQueues(*out.ddg, m, *out.sched.schedule);
+        SharedAllocation sa =
+            shareQueues(qa, *out.ddg, *out.sched.schedule);
+        EXPECT_LE(sa.queuesAfter, sa.queuesBefore) << k.name;
+        for (const SharedQueue &q : sa.queues) {
+            ASSERT_FALSE(q.members.empty());
+            const Lifetime &first =
+                qa.lifetimes[static_cast<size_t>(q.members[0])];
+            for (int mem : q.members) {
+                const Lifetime &lt =
+                    qa.lifetimes[static_cast<size_t>(mem)];
+                EXPECT_EQ(lt.location, first.location) << k.name;
+                EXPECT_EQ(lt.cluster, first.cluster) << k.name;
+                EXPECT_EQ(lt.link, first.link) << k.name;
+            }
+        }
+    }
+}
+
 TEST(Sharing, SharedDepthNeverBelowMaxMemberDepth)
 {
     Loop k = kernelFir8();
