@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Compile-service throughput benchmark: hammers a CompileService
+ * with a zipf-skewed request mix — a small hot set of kernels that
+ * repeats and a churn of cold synthetic loops that never does —
+ * and reports cold vs warm requests/sec, hit rate and latency
+ * percentiles in BENCH_serve.json.
+ *
+ * Phases:
+ *   cold   every request unique (fresh synth loops): the service
+ *          at its worst, one full pipeline run per request;
+ *   warm   the hot set replayed after priming: every request a
+ *          cache hit;
+ *   mixed  the zipf mix from concurrent clients: the serving
+ *          steady state, with hit rate and p50/p99 latency.
+ *
+ * Knobs: DMS_SUITE_COUNT (cold pool size, default 200),
+ * DMS_SERVE_CLIENTS (client threads, default 4),
+ * DMS_SERVE_MIN_SPEEDUP (gate: warm rps must be at least this
+ * multiple of cold rps, default 10; the acceptance floor).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+#include "machine/desc.h"
+#include "serve/loadgen.h"
+#include "serve/service.h"
+#include "support/diag.h"
+#include "support/strings.h"
+#include "workload/suite.h"
+#include "workload/text.h"
+
+int
+main()
+{
+    using namespace dms;
+    const int cold_pool = suiteCountFromEnv(200);
+    const int clients = envInt("DMS_SERVE_CLIENTS", 4);
+    const int min_speedup = envInt("DMS_SERVE_MIN_SPEEDUP", 10);
+    constexpr std::uint64_t kSeed = 0x5e7e5e7eULL;
+
+    const std::string machine_text =
+        machineToText(MachineModel::clusteredRing(4));
+
+    // Cold pool: unique synthetic loops, serialized up front so
+    // the timed phases measure the service, not the generator.
+    std::vector<std::string> cold_texts;
+    cold_texts.reserve(static_cast<size_t>(cold_pool));
+    for (int i = 0; i < cold_pool; ++i)
+        cold_texts.push_back(coldLoopText(kSeed, i));
+
+    // Hot set: the named kernels under zipf weights (rank^-1.1).
+    const std::vector<std::string> hot_texts = hotKernelTexts();
+    const ZipfPicker zipf(hot_texts.size());
+
+    std::printf("serve_throughput: %zu cold loops, %zu hot "
+                "kernels, %d clients\n",
+                cold_texts.size(), hot_texts.size(), clients);
+
+    // --- cold: every request unique, a fresh service ------------
+    const int cold_requests = static_cast<int>(cold_texts.size());
+    double cold_rps = 0;
+    {
+        CompileService service;
+        HammerResult cold = hammerService(
+            service, cold_requests, clients, machine_text, "dms",
+            kSeed, [&](int i, Rng &) -> std::string {
+                return cold_texts[static_cast<size_t>(i)];
+            });
+        ServeStats s = service.stats();
+        DMS_ASSERT(s.hits == 0, "cold phase hit the cache (%llu)",
+                   static_cast<unsigned long long>(s.hits));
+        cold_rps = cold.rps();
+        std::printf("cold: %d requests in %.3f s = %.0f req/s\n",
+                    cold.requests, cold.seconds, cold_rps);
+    }
+
+    // --- warm + mixed share a service ---------------------------
+    CompileService service;
+
+    // Prime the hot set, then replay: every timed request a hit.
+    for (const std::string &t : hot_texts) {
+        CompileRequest req;
+        req.loopText = t;
+        req.machineText = machine_text;
+        req.options.scheduler = "dms";
+        req.options.regalloc = true;
+        service.compile(req);
+    }
+    const int warm_requests = std::max(2000, cold_requests * 4);
+    HammerResult warm = hammerService(
+        service, warm_requests, clients, machine_text, "dms",
+        kSeed + 1, [&](int, Rng &rng) -> std::string {
+            return hot_texts[zipf.pick(rng)];
+        });
+    double warm_rps = warm.rps();
+    std::printf("warm: %d requests in %.3f s = %.0f req/s "
+                "(%.1fx cold)\n",
+                warm.requests, warm.seconds, warm_rps,
+                warm_rps / cold_rps);
+
+    // --- mixed: the zipf steady state with cold churn -----------
+    // Phase-local numbers: hit rate from the stats delta across
+    // the hammer, latency percentiles measured client-side inside
+    // it — the service's own ServeStats span its whole lifetime
+    // (prime + warm included) and would overstate both.
+    const ServeStats before = service.stats();
+    const int mixed_requests = cold_requests * 2;
+    HammerResult mixed_run = hammerService(
+        service, mixed_requests, clients, machine_text, "dms",
+        kSeed + 2, [&](int i, Rng &rng) -> std::string {
+            if (rng.range(1, 100) <= 75)
+                return hot_texts[zipf.pick(rng)];
+            return coldLoopText(kSeed ^ 0xc01dULL, i);
+        });
+    const ServeStats after = service.stats();
+    const std::uint64_t mixed_hits =
+        (after.hits - before.hits) +
+        (after.coalesced - before.coalesced);
+    const std::uint64_t mixed_coalesced =
+        after.coalesced - before.coalesced;
+    const double mixed_hit_rate =
+        static_cast<double>(mixed_hits) /
+        static_cast<double>(mixed_requests);
+    double mixed_rps = mixed_run.rps();
+    std::printf("mixed: %d requests in %.3f s = %.0f req/s, "
+                "hit rate %.1f%%, %llu coalesced, p50 %.3f ms, "
+                "p99 %.3f ms\n",
+                mixed_run.requests, mixed_run.seconds, mixed_rps,
+                mixed_hit_rate * 100.0,
+                static_cast<unsigned long long>(mixed_coalesced),
+                mixed_run.p50Ms, mixed_run.p99Ms);
+
+    std::string json = "{";
+    json += "\"bench\":\"serve_throughput\",";
+    json += strfmt("\"clients\":%d,", clients);
+    json += strfmt("\"workers\":%d,", service.workers());
+    json += strfmt("\"hot_kernels\":%zu,", hot_texts.size());
+    json += strfmt("\"cold\":{\"requests\":%d,\"rps\":%.1f},",
+                   cold_requests, cold_rps);
+    json += strfmt("\"warm\":{\"requests\":%d,\"rps\":%.1f},",
+                   warm.requests, warm_rps);
+    json += strfmt(
+        "\"mixed\":{\"requests\":%d,\"rps\":%.1f,"
+        "\"hit_rate\":%.4f,\"coalesced\":%llu,"
+        "\"p50_ms\":%.4f,\"p90_ms\":%.4f,\"p99_ms\":%.4f},",
+        mixed_run.requests, mixed_rps, mixed_hit_rate,
+        static_cast<unsigned long long>(mixed_coalesced),
+        mixed_run.p50Ms, mixed_run.p90Ms, mixed_run.p99Ms);
+    json += strfmt("\"warm_vs_cold\":%.1f}",
+                   warm_rps / cold_rps);
+
+    const char *path = "BENCH_serve.json";
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        warn("cannot write %s", path);
+        return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    inform("wrote %s", path);
+
+    if (warm_rps < cold_rps * min_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: warm %.0f req/s is below %dx cold "
+                     "%.0f req/s\n",
+                     warm_rps, min_speedup, cold_rps);
+        return 1;
+    }
+    std::printf("gate: warm/cold = %.1fx (>= %dx) ok\n",
+                warm_rps / cold_rps, min_speedup);
+    return 0;
+}

@@ -5,7 +5,7 @@
  * schedule -> regalloc -> codegen -> verify -> perf) end to end.
  *
  * Usage:
- *   dmsc [options] <loop.ddg | kernel:NAME>
+ *   dmsc [options] <loop file | kernel:NAME>
  *
  * Options:
  *   --clusters N    ring size (default 4); 0 = unclustered IMS
@@ -20,8 +20,9 @@
  *   --sim N         simulate N iterations against the reference
  *   --share         report queue sharing
  *
- * Input is either a textual DDG file (see workload/text.h) or one
- * of the built-in kernels, e.g. "kernel:fir8".
+ * Input is either a loop file in the workload/text format (the
+ * same format the dmsd compile service accepts, any extension) or
+ * one of the built-in kernels, e.g. "kernel:fir8".
  */
 
 #include <cstdio>
@@ -51,20 +52,6 @@ readFile(const std::string &path)
     std::stringstream ss;
     ss << in.rdbuf();
     return ss.str();
-}
-
-Loop
-loadInput(const std::string &spec)
-{
-    if (spec.rfind("kernel:", 0) == 0) {
-        std::string name = spec.substr(7);
-        for (Loop &k : namedKernels()) {
-            if (k.name == name)
-                return std::move(k);
-        }
-        fatal("unknown kernel '%s'", name.c_str());
-    }
-    return loopFromText(readFile(spec));
 }
 
 } // namespace
@@ -115,9 +102,15 @@ main(int argc, char **argv)
             input = a;
     }
     if (input.empty())
-        fatal("usage: dmsc [options] <loop.ddg | kernel:NAME>");
+        fatal("usage: dmsc [options] <loop file (workload/text "
+              "format) | kernel:NAME>");
 
-    Loop loop = loadInput(input);
+    // The CLI and the dmsd service share one loader: a loop file
+    // in the workload/text format, or a built-in kernel by name.
+    Loop loop;
+    std::string load_error;
+    if (!loadLoopSpec(input, loop, load_error))
+        fatal("%s", load_error.c_str());
     std::printf("loop '%s': %d ops, trip %ld%s\n",
                 loop.name.c_str(), loop.ddg.liveOpCount(),
                 loop.tripCount,

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * dmsd — the DMS compile server. Wraps the long-lived
+ * CompileService (serve/service.h) behind a tiny driver that
+ * serves compilation requests in the textual formats the rest of
+ * the repo speaks: loops in workload/text form, machines in
+ * machine/desc form.
+ *
+ * Usage:
+ *   dmsd [options] --script FILE     serve requests from a script
+ *   dmsd [options] --load N          built-in load generator
+ *
+ * Options:
+ *   --workers N    service worker threads (default: DMS_SERVE_WORKERS
+ *                  env, else hardware concurrency)
+ *   --clients N    concurrent client threads (default 4)
+ *   --machine FILE default machine description (default: the
+ *                  paper's 4-cluster queue-file ring)
+ *   --sched NAME   scheduler (default: auto — dms on clustered
+ *                  machines, ims otherwise)
+ *   --hot P        load-gen: percent of requests drawn from the
+ *                  zipf-skewed hot kernel set (default 75)
+ *   --seed S       load-gen request-mix seed (default 42)
+ *
+ * Script format, one directive per line ('#' comments):
+ *   machine FILE   switch the current machine description
+ *   sched NAME     switch the scheduler ("auto" resets)
+ *   compile SPEC   one request; SPEC is a loop file or kernel:NAME
+ *   repeat N SPEC  N identical requests (exercises the cache and
+ *                  single-flight dedup)
+ *
+ * The service's queue depth, shard count and cache capacity come
+ * from the DMS_SERVE_QUEUE_DEPTH / DMS_SERVE_SHARDS /
+ * DMS_SERVE_CACHE_CAP environment knobs (strictly parsed).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "machine/desc.h"
+#include "serve/loadgen.h"
+#include "serve/service.h"
+#include "support/diag.h"
+#include "support/strings.h"
+#include "workload/text.h"
+
+namespace {
+
+using namespace dms;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+const char *
+sourceName(CompileService::Source s)
+{
+    switch (s) {
+    case CompileService::Source::Miss:
+        return "cold";
+    case CompileService::Source::Coalesced:
+        return "coalesced";
+    case CompileService::Source::Hit:
+        return "hit";
+    case CompileService::Source::Invalid:
+        return "invalid";
+    }
+    return "?";
+}
+
+void
+printStats(const CompileService &service)
+{
+    ServeStats s = service.stats();
+    std::printf("serve: %llu requests, %llu hits, %llu coalesced, "
+                "%llu cold, %llu invalid (hit rate %.1f%%)\n",
+                static_cast<unsigned long long>(s.requests),
+                static_cast<unsigned long long>(s.hits),
+                static_cast<unsigned long long>(s.coalesced),
+                static_cast<unsigned long long>(s.misses),
+                static_cast<unsigned long long>(s.invalid),
+                s.hitRate() * 100.0);
+    std::printf("cache: %llu entries resident, %llu evicted; "
+                "queue peak depth %d\n",
+                static_cast<unsigned long long>(s.cached),
+                static_cast<unsigned long long>(s.evictions),
+                s.peakQueueDepth);
+    if (s.latencySamples > 0) {
+        std::printf("latency: p50 %.3f ms, p90 %.3f ms, p99 %.3f "
+                    "ms, max %.3f ms, mean %.3f ms (%llu samples)\n",
+                    s.p50Ms, s.p90Ms, s.p99Ms, s.maxMs, s.meanMs,
+                    static_cast<unsigned long long>(
+                        s.latencySamples));
+    }
+}
+
+/** Shared request skeleton: current machine text and scheduler. */
+struct RequestContext
+{
+    std::string machineText;
+    std::string scheduler; ///< "" = auto
+
+    CompileRequest
+    request(const std::string &loop_text) const
+    {
+        CompileRequest req;
+        req.loopText = loop_text;
+        req.machineText = machineText;
+        req.options.scheduler = scheduler;
+        req.options.regalloc = true;
+        return req;
+    }
+};
+
+int
+runScript(CompileService &service, const std::string &path,
+          RequestContext rc)
+{
+    struct Pending
+    {
+        std::string label;
+        CompileService::Ticket ticket;
+    };
+    std::vector<Pending> pending;
+
+    int line_no = 0;
+    int failures = 0;
+    for (const std::string &raw : split(readFile(path), '\n')) {
+        ++line_no;
+        std::string line = trim(raw);
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::vector<std::string> f;
+        for (const std::string &t : split(line, ' ')) {
+            if (!t.empty())
+                f.push_back(t);
+        }
+        if (f[0] == "machine" && f.size() == 2) {
+            rc.machineText = readFile(f[1]);
+        } else if (f[0] == "sched" && f.size() == 2) {
+            rc.scheduler = f[1] == "auto" ? "" : f[1];
+        } else if (f[0] == "compile" && f.size() == 2) {
+            Loop loop;
+            std::string error;
+            if (!loadLoopSpec(f[1], loop, error))
+                fatal("%s line %d: %s", path.c_str(), line_no,
+                      error.c_str());
+            Pending p;
+            p.label = f[1];
+            p.ticket = service.submit(rc.request(loopToText(loop)));
+            pending.push_back(std::move(p));
+        } else if (f[0] == "repeat" && f.size() == 3) {
+            int n = 0;
+            if (!parseInt(f[1], n) || n <= 0)
+                fatal("%s line %d: bad repeat count '%s'",
+                      path.c_str(), line_no, f[1].c_str());
+            Loop loop;
+            std::string error;
+            if (!loadLoopSpec(f[2], loop, error))
+                fatal("%s line %d: %s", path.c_str(), line_no,
+                      error.c_str());
+            std::string loop_text = loopToText(loop);
+            for (int i = 0; i < n; ++i) {
+                Pending p;
+                p.label = strfmt("%s[%d]", f[2].c_str(), i);
+                p.ticket = service.submit(rc.request(loop_text));
+                pending.push_back(std::move(p));
+            }
+        } else {
+            fatal("%s line %d: unknown directive '%s'",
+                  path.c_str(), line_no, line.c_str());
+        }
+    }
+
+    for (Pending &p : pending) {
+        CompileService::ResultPtr result = p.ticket.future.get();
+        if (!result->parsed) {
+            std::printf("%s: REJECTED (%s)\n", p.label.c_str(),
+                        result->error.c_str());
+            ++failures;
+        } else if (!result->ok) {
+            std::printf("%s: FAILED (MII %d, no schedule)\n",
+                        p.label.c_str(), result->run.mii);
+            ++failures;
+        } else {
+            std::printf("%s: II=%d (MII=%d), SC=%d, %ld cycles "
+                        "[%s]\n",
+                        p.label.c_str(), result->run.ii,
+                        result->run.mii, result->run.stageCount,
+                        result->run.cycles,
+                        sourceName(p.ticket.source));
+        }
+    }
+    printStats(service);
+    return failures == 0 ? 0 : 1;
+}
+
+int
+runLoadGenerator(CompileService &service, int total, int clients,
+                 int hot_percent, std::uint64_t seed,
+                 const RequestContext &rc)
+{
+    // Hot set: the named kernels, zipf-weighted so a few kernels
+    // dominate — the "hot kernels repeat" half of the mix. Cold
+    // requests are fresh synthetic loops that never repeat (the
+    // global request number keeps them unique across clients).
+    std::vector<std::string> hot = hotKernelTexts();
+    ZipfPicker zipf(hot.size());
+    HammerResult res = hammerService(
+        service, total, clients, rc.machineText, rc.scheduler,
+        seed, [&](int i, Rng &rng) -> std::string {
+            if (rng.range(1, 100) <= hot_percent)
+                return hot[zipf.pick(rng)];
+            return coldLoopText(seed, i);
+        });
+
+    std::printf("load: %d requests from %d clients (%d%% hot mix)"
+                ", %d failures\n",
+                res.requests, clients, hot_percent, res.failures);
+    printStats(service);
+    return res.failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dms;
+    std::string script;
+    std::string machine_file;
+    std::string sched_name;
+    int load = 0;
+    int clients = 4;
+    int workers = 0;
+    int hot_percent = 75;
+    int seed = 42;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", a.c_str());
+            return argv[++i];
+        };
+        auto nextInt = [&]() {
+            std::string v = next();
+            int out = 0;
+            if (!parseInt(v, out))
+                fatal("bad value '%s' for %s", v.c_str(),
+                      a.c_str());
+            return out;
+        };
+        if (a == "--script")
+            script = next();
+        else if (a == "--load")
+            load = nextInt();
+        else if (a == "--clients")
+            clients = nextInt();
+        else if (a == "--workers")
+            workers = nextInt();
+        else if (a == "--machine")
+            machine_file = next();
+        else if (a == "--sched")
+            sched_name = next();
+        else if (a == "--hot")
+            hot_percent = nextInt();
+        else if (a == "--seed")
+            seed = nextInt();
+        else
+            fatal("unknown option '%s'", a.c_str());
+    }
+    if (script.empty() == (load == 0))
+        fatal("usage: dmsd [options] --script FILE | --load N");
+
+    ServeOptions opts = ServeOptions::fromEnv();
+    if (workers > 0)
+        opts.workers = workers;
+    CompileService service(opts);
+    std::printf("dmsd: %d workers, queue depth %d, %d cache "
+                "shards, capacity %d\n",
+                service.workers(), opts.queueDepth, opts.shards,
+                opts.cacheCapacity);
+
+    // --machine/--sched seed both modes; script directives can
+    // override them per request block.
+    RequestContext rc;
+    rc.machineText =
+        !machine_file.empty()
+            ? readFile(machine_file)
+            : machineToText(MachineModel::clusteredRing(4));
+    rc.scheduler = sched_name;
+
+    if (!script.empty())
+        return runScript(service, script, std::move(rc));
+
+    return runLoadGenerator(service, load, std::max(clients, 1),
+                            std::clamp(hot_percent, 0, 100),
+                            static_cast<std::uint64_t>(seed), rc);
+}

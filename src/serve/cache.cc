@@ -1,0 +1,106 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+
+#include "support/diag.h"
+
+namespace dms {
+
+std::uint64_t
+fnv1a64(std::string_view s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+ResultCache::ResultCache(int shards, int capacity)
+    : shards_(static_cast<size_t>(std::max(shards, 1)))
+{
+    int n = static_cast<int>(shards_.size());
+    perShardCap_ = std::max(1, (std::max(capacity, 1) + n - 1) / n);
+}
+
+/**
+ * Over capacity: drop the oldest *ready* entry. In-flight entries
+ * are pinned — evicting one would let a duplicate request start a
+ * second compilation of the same key. Caller holds the shard lock.
+ */
+void
+ResultCache::evictIfFull(Shard &shard)
+{
+    if (shard.entries.size() < static_cast<size_t>(perShardCap_))
+        return;
+    for (auto oit = shard.order.begin(); oit != shard.order.end();
+         ++oit) {
+        auto eit = shard.entries.find(*oit);
+        DMS_ASSERT(eit != shard.entries.end(),
+                   "cache order entry without map entry");
+        if (eit->second->ready.load(std::memory_order_acquire)) {
+            shard.entries.erase(eit);
+            shard.order.erase(oit);
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+    }
+}
+
+ResultCache::Lookup
+ResultCache::acquire(const std::string &key, std::uint64_t hash,
+                     std::shared_ptr<CacheEntry> &entry)
+{
+    Shard &shard = shards_[hash % shards_.size()];
+    std::lock_guard<std::mutex> lock(shard.mu);
+
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+        entry = it->second;
+        return entry->ready.load(std::memory_order_acquire)
+                   ? Lookup::Hit
+                   : Lookup::InFlight;
+    }
+
+    evictIfFull(shard);
+    entry = std::make_shared<CacheEntry>();
+    shard.entries.emplace(key, entry);
+    shard.order.push_back(key);
+    return Lookup::Inserted;
+}
+
+std::shared_ptr<CacheEntry>
+ResultCache::find(const std::string &key, std::uint64_t hash) const
+{
+    const Shard &shard = shards_[hash % shards_.size()];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    return it == shard.entries.end() ? nullptr : it->second;
+}
+
+void
+ResultCache::insertAlias(const std::string &key, std::uint64_t hash,
+                         std::shared_ptr<CacheEntry> entry)
+{
+    Shard &shard = shards_[hash % shards_.size()];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.entries.count(key))
+        return;
+    evictIfFull(shard);
+    shard.entries.emplace(key, std::move(entry));
+    shard.order.push_back(key);
+}
+
+std::uint64_t
+ResultCache::size() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        total += shard.entries.size();
+    }
+    return total;
+}
+
+} // namespace dms

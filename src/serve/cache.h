@@ -1,0 +1,127 @@
+#ifndef DMS_SERVE_CACHE_H
+#define DMS_SERVE_CACHE_H
+
+/**
+ * @file
+ * The memoizing result cache behind the compile service: a sharded
+ * map from canonical request keys to single-flight entries. An
+ * entry is created exactly once per key (the creator compiles; the
+ * service publishes the result through the entry's promise), so
+ * identical in-flight requests coalesce onto one compilation and
+ * later identical requests are pure lookups.
+ *
+ * Keys are the canonical request text (see service.cc); the FNV
+ * hash only picks the shard and avoids re-hashing the key string
+ * per map probe — equality is always on the full key, so hash
+ * collisions cannot alias two different requests.
+ *
+ * Capacity is enforced per shard with FIFO eviction of *ready*
+ * entries only: evicting an in-flight entry would break the
+ * coalescing guarantee, so a shard may transiently exceed its cap
+ * when everything in it is still compiling. (A smarter eviction
+ * policy — LRU, cost-aware — is a recorded follow-up.)
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dms {
+
+struct CompileResult;
+
+/** FNV-1a over bytes; the shard/bucket hash of the result cache. */
+std::uint64_t fnv1a64(std::string_view s);
+
+/**
+ * One memo slot: a single-flight rendezvous that becomes a cached
+ * result. Waiters (coalesced or hitting requests) block on the
+ * shared future; the one compiling thread fulfills the promise and
+ * flips ready.
+ */
+struct CacheEntry
+{
+    CacheEntry() : future(promise.get_future().share()) {}
+
+    std::promise<std::shared_ptr<const CompileResult>> promise;
+    std::shared_future<std::shared_ptr<const CompileResult>> future;
+    std::atomic<bool> ready{false};
+};
+
+/** Sharded single-flight memo map. */
+class ResultCache
+{
+  public:
+    /** How a key lookup resolved. */
+    enum class Lookup : std::uint8_t {
+        Hit,      ///< entry exists and its result is ready
+        InFlight, ///< entry exists, compilation still running
+        Inserted, ///< entry was created; the caller must compile
+    };
+
+    /**
+     * @param shards   number of independent shards (>= 1)
+     * @param capacity total ready-entry capacity across shards
+     */
+    ResultCache(int shards, int capacity);
+
+    /**
+     * Find or create the entry for @p key (@p hash must be
+     * fnv1a64(key)). @p entry is always filled on return.
+     */
+    Lookup acquire(const std::string &key, std::uint64_t hash,
+                   std::shared_ptr<CacheEntry> &entry);
+
+    /**
+     * Find the entry for @p key without creating one; nullptr when
+     * absent. The raw-text fast path of the service probes its
+     * alias map with this before paying for canonicalization.
+     */
+    std::shared_ptr<CacheEntry> find(const std::string &key,
+                                     std::uint64_t hash) const;
+
+    /**
+     * Map @p key to an @p entry owned elsewhere (capacity-bounded,
+     * same FIFO eviction as acquire). Used for raw-spelling
+     * aliases of a canonical entry; inserting an existing key is a
+     * no-op.
+     */
+    void insertAlias(const std::string &key, std::uint64_t hash,
+                     std::shared_ptr<CacheEntry> entry);
+
+    /** Entries currently resident (ready + in-flight). */
+    std::uint64_t size() const;
+
+    /** Ready entries evicted so far. */
+    std::uint64_t evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<std::string, std::shared_ptr<CacheEntry>>
+            entries;
+        /** Insertion order, the FIFO eviction scan order. */
+        std::deque<std::string> order;
+    };
+
+    void evictIfFull(Shard &shard);
+
+    std::vector<Shard> shards_;
+    int perShardCap_;
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace dms
+
+#endif // DMS_SERVE_CACHE_H

@@ -1,0 +1,109 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "workload/suite.h"
+#include "workload/text.h"
+
+namespace dms {
+
+ZipfPicker::ZipfPicker(size_t n, double exponent) : cum_(n)
+{
+    for (size_t i = 0; i < n; ++i) {
+        mass_ += 1.0 /
+                 std::pow(static_cast<double>(i) + 1.0, exponent);
+        cum_[i] = mass_;
+    }
+}
+
+size_t
+ZipfPicker::pick(Rng &rng) const
+{
+    double u = rng.uniform() * mass_;
+    size_t i = 0;
+    while (i + 1 < cum_.size() && cum_[i] < u)
+        ++i;
+    return i;
+}
+
+std::vector<std::string>
+hotKernelTexts()
+{
+    std::vector<std::string> out;
+    for (const Loop &k : namedKernels())
+        out.push_back(loopToText(k));
+    return out;
+}
+
+std::string
+coldLoopText(std::uint64_t seed, int index)
+{
+    Rng rng(seed ^ (0x9e3779b97f4a7c15ULL +
+                    static_cast<std::uint64_t>(index) * 31337));
+    SynthParams params;
+    return loopToText(synthesizeLoop(rng, params, index));
+}
+
+HammerResult
+hammerService(
+    CompileService &service, int total, int clients,
+    const std::string &machineText, const std::string &scheduler,
+    std::uint64_t seed,
+    const std::function<std::string(int, Rng &)> &makeLoop)
+{
+    std::atomic<int> dispatched{0};
+    std::atomic<int> failures{0};
+    std::mutex latency_mu;
+    Samples latencies;
+    auto t0 = std::chrono::steady_clock::now();
+    auto client = [&](int tid) {
+        Rng rng(seed + static_cast<std::uint64_t>(tid) * 104729);
+        Samples local;
+        while (true) {
+            int i = dispatched.fetch_add(1);
+            if (i >= total)
+                break;
+            CompileRequest req;
+            req.loopText = makeLoop(i, rng);
+            req.machineText = machineText;
+            req.options.scheduler = scheduler;
+            req.options.regalloc = true;
+            auto r0 = std::chrono::steady_clock::now();
+            CompileService::ResultPtr result =
+                service.compile(req);
+            local.add(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - r0)
+                          .count());
+            if (!result->parsed || !result->ok)
+                failures.fetch_add(1);
+        }
+        std::lock_guard<std::mutex> lock(latency_mu);
+        latencies.merge(local);
+    };
+    std::vector<std::thread> threads;
+    int n = std::max(clients, 1);
+    threads.reserve(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t)
+        threads.emplace_back(client, t);
+    for (std::thread &t : threads)
+        t.join();
+
+    HammerResult out;
+    out.requests = total;
+    out.failures = failures.load();
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    out.p50Ms = latencies.percentile(50);
+    out.p90Ms = latencies.percentile(90);
+    out.p99Ms = latencies.percentile(99);
+    out.maxMs = latencies.max();
+    return out;
+}
+
+} // namespace dms

@@ -1,0 +1,92 @@
+#ifndef DMS_SERVE_LOADGEN_H
+#define DMS_SERVE_LOADGEN_H
+
+/**
+ * @file
+ * Shared request-mix helpers for the service's load surfaces:
+ * dmsd's --load mode and bench/serve_throughput drive the same
+ * zipf-skewed mix (a hot set of kernels that repeats, cold
+ * synthetic loops that churn) and the same multi-client hammer
+ * loop, so they live here once.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/service.h"
+#include "support/rng.h"
+
+namespace dms {
+
+/**
+ * Zipf-weighted index picker: rank r is drawn with probability
+ * proportional to 1 / (r+1)^exponent. The standard skew of a
+ * serving hot set — a few keys dominate, the tail trickles.
+ */
+class ZipfPicker
+{
+  public:
+    explicit ZipfPicker(size_t n, double exponent = 1.1);
+
+    size_t pick(Rng &rng) const;
+    size_t size() const { return cum_.size(); }
+
+  private:
+    std::vector<double> cum_;
+    double mass_ = 0;
+};
+
+/** The standard hot set: every named kernel, serialized. */
+std::vector<std::string> hotKernelTexts();
+
+/**
+ * A unique cold loop per @p index (deterministic in @p seed):
+ * the churn half of the mix, never repeating, never hitting.
+ */
+std::string coldLoopText(std::uint64_t seed, int index);
+
+/** What one hammer run did. */
+struct HammerResult
+{
+    int requests = 0;
+    int failures = 0; ///< rejected or unschedulable
+    double seconds = 0;
+
+    /**
+     * @name Per-request latency of *this* run (milliseconds)
+     * Measured client-side around each compile(), so a phase's
+     * percentiles are its own — unlike ServeStats, which spans
+     * the service's whole lifetime.
+     */
+    /// @{
+    double p50Ms = 0;
+    double p90Ms = 0;
+    double p99Ms = 0;
+    double maxMs = 0;
+    /// @}
+
+    double
+    rps() const
+    {
+        return seconds > 0 ? requests / seconds : 0;
+    }
+};
+
+/**
+ * Fire @p total requests at @p service from @p clients threads,
+ * each request's loop text produced by @p makeLoop(i, rng) (i is
+ * the global request number; rng is per-client, seeded from
+ * @p seed). Every request uses @p machineText, @p scheduler and
+ * the regalloc stage — the standard serving configuration.
+ */
+HammerResult hammerService(
+    CompileService &service, int total, int clients,
+    const std::string &machineText, const std::string &scheduler,
+    std::uint64_t seed,
+    const std::function<std::string(int, Rng &)> &makeLoop);
+
+} // namespace dms
+
+#endif // DMS_SERVE_LOADGEN_H

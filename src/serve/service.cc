@@ -1,0 +1,431 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "codegen/emit.h"
+#include "machine/desc.h"
+#include "support/diag.h"
+#include "support/strings.h"
+#include "support/thread_pool.h"
+#include "workload/text.h"
+
+namespace dms {
+
+namespace {
+
+/** One accepted compilation, parsed and ready for a worker. */
+struct Job
+{
+    std::shared_ptr<CacheEntry> entry;
+    Loop loop;
+    MachineModel machine;
+    PipelineOptions options;
+
+    Job(std::shared_ptr<CacheEntry> e, Loop l, MachineModel m,
+        PipelineOptions o)
+        : entry(std::move(e)), loop(std::move(l)),
+          machine(std::move(m)), options(std::move(o))
+    {
+    }
+};
+
+/**
+ * Bounded MPMC job queue. push() blocks while the queue is at
+ * capacity (producer backpressure — the "bounded" in the design);
+ * pop() blocks while it is empty and returns false once the queue
+ * is stopped *and* drained, so every accepted job is executed
+ * before shutdown completes.
+ */
+class JobQueue
+{
+  public:
+    explicit JobQueue(int capacity)
+        : capacity_(static_cast<size_t>(std::max(capacity, 1)))
+    {
+    }
+
+    void
+    push(std::unique_ptr<Job> job)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notFull_.wait(lock, [&] {
+            return queue_.size() < capacity_ || stopped_;
+        });
+        DMS_ASSERT(!stopped_, "push after CompileService shutdown");
+        queue_.push_back(std::move(job));
+        peak_ = std::max(peak_, queue_.size());
+        notEmpty_.notify_one();
+    }
+
+    bool
+    pop(std::unique_ptr<Job> &out)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notEmpty_.wait(lock,
+                       [&] { return !queue_.empty() || stopped_; });
+        if (queue_.empty())
+            return false;
+        out = std::move(queue_.front());
+        queue_.pop_front();
+        notFull_.notify_one();
+        return true;
+    }
+
+    void
+    stop()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopped_ = true;
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    int
+    depth() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return static_cast<int>(queue_.size());
+    }
+
+    int
+    peak() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return static_cast<int>(peak_);
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<std::unique_ptr<Job>> queue_;
+    size_t capacity_;
+    size_t peak_ = 0;
+    bool stopped_ = false;
+};
+
+/**
+ * The option fields that select a compilation outcome, serialized
+ * into the cache key. The MII hint fields (known*Mii) are excluded
+ * on purpose: the pipeline overwrites them from its own MII stage,
+ * so they cannot change the result. perf is forced on — LoopRun
+ * needs it — and is therefore not part of the key either.
+ */
+std::string
+optionsKeyPart(const PipelineOptions &po)
+{
+    return strfmt(
+        "sched=%s;unroll=%d;umax=%d;uops=%d;verify=%d;ra=%d;cg=%d;"
+        "b.budget=%d;b.maxii=%d;d.budget=%d;d.maxii=%d;"
+        "d.restarts=%d;d.chains=%d;d.rule=%d;d.s3=%d",
+        po.scheduler.c_str(), po.forceUnroll, po.unrollMaxFactor,
+        po.unrollMaxOps, po.verify ? 1 : 0, po.regalloc ? 1 : 0,
+        po.codegen ? 1 : 0, po.config.base.budgetRatio,
+        po.config.base.maxII, po.config.dms.budgetRatio,
+        po.config.dms.maxII, po.config.dms.restartsPerII,
+        po.config.dms.enableChains ? 1 : 0,
+        static_cast<int>(po.config.dms.chainRule),
+        static_cast<int>(po.config.dms.s3Policy));
+}
+
+} // namespace
+
+ServeOptions
+ServeOptions::fromEnv()
+{
+    ServeOptions opts;
+    opts.workers = envInt("DMS_SERVE_WORKERS", opts.workers,
+                          /*lo=*/0);
+    opts.queueDepth =
+        envInt("DMS_SERVE_QUEUE_DEPTH", opts.queueDepth);
+    opts.shards = envInt("DMS_SERVE_SHARDS", opts.shards);
+    opts.cacheCapacity =
+        envInt("DMS_SERVE_CACHE_CAP", opts.cacheCapacity);
+    return opts;
+}
+
+struct CompileService::Impl
+{
+    explicit Impl(const ServeOptions &opts)
+        : queue(opts.queueDepth),
+          cache(opts.shards, opts.cacheCapacity),
+          aliases(opts.shards, opts.cacheCapacity),
+          workerCount(opts.workers > 0 ? opts.workers
+                                       : ThreadPool::defaultJobs())
+    {
+        workers.reserve(static_cast<size_t>(workerCount));
+        for (int w = 0; w < workerCount; ++w)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+
+    ~Impl()
+    {
+        queue.stop();
+        for (std::thread &t : workers)
+            t.join();
+    }
+
+    void
+    workerLoop()
+    {
+        // The pooled unit: one CompilationContext per worker, its
+        // arenas reused by every request this worker executes.
+        CompilationContext ctx;
+        std::unique_ptr<Job> job;
+        while (queue.pop(job)) {
+            execute(*job, ctx);
+            job.reset();
+        }
+    }
+
+    void
+    execute(Job &job, CompilationContext &ctx)
+    {
+        auto result = std::make_shared<CompileResult>();
+        result->parsed = true;
+
+        Pipeline pipeline(job.options);
+        result->run =
+            runLoop(pipeline, job.loop, job.machine, ctx);
+        result->ok = result->run.ok;
+        if (result->ok && job.options.codegen) {
+            result->kernelText = emitPipelinedCode(
+                ctx.scheduledDdg(), job.machine, ctx.kernel,
+                ctx.queuesValid ? &ctx.queues : nullptr);
+        }
+
+        // Publish: ready must be set before the promise wakes any
+        // waiter, so a concurrent acquire() that saw ready==false
+        // still classifies as InFlight and blocks on the future —
+        // never the other way around.
+        job.entry->ready.store(true, std::memory_order_release);
+        job.entry->promise.set_value(std::move(result));
+    }
+
+    std::uint64_t
+    bump(std::uint64_t &counter)
+    {
+        std::lock_guard<std::mutex> lock(statsMu);
+        return ++counter;
+    }
+
+    JobQueue queue;
+
+    /** The authoritative memo map, keyed on canonical text. */
+    ResultCache cache;
+
+    /**
+     * Raw-spelling aliases into the same entries: a verbatim
+     * re-send of a request (the common warm case) resolves here
+     * without paying for parse + re-serialization. Both maps are
+     * capacity-bounded, so the alias layer is an optimization,
+     * never a second source of truth.
+     */
+    ResultCache aliases;
+
+    int workerCount;
+    std::vector<std::thread> workers;
+
+    mutable std::mutex statsMu;
+    std::uint64_t requests = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalid = 0;
+    /** Reservoir-capped: a long-lived service must not grow. */
+    Samples latenciesMs{std::uint64_t(1) << 16};
+};
+
+CompileService::CompileService(ServeOptions opts)
+    : impl_(new Impl(opts)), opts_(opts)
+{
+}
+
+CompileService::~CompileService() = default;
+
+int
+CompileService::workers() const
+{
+    return impl_->workerCount;
+}
+
+CompileRequest
+makeRequest(const Loop &loop, const MachineModel &machine,
+            const PipelineOptions &options)
+{
+    CompileRequest req;
+    req.loopText = loopToText(loop);
+    req.machineText = machineToText(machine);
+    req.options = options;
+    if (req.options.scheduler.empty())
+        req.options.scheduler =
+            machine.clustered() ? "dms" : "ims";
+    return req;
+}
+
+CompileService::Ticket
+CompileService::submit(const CompileRequest &request)
+{
+    impl_->bump(impl_->requests);
+    Ticket ticket;
+
+    // Fast path: a verbatim repeat of an earlier request resolves
+    // through the raw-text alias map without re-parsing anything.
+    std::string raw_key = request.loopText;
+    raw_key += '\x01';
+    raw_key += request.machineText;
+    raw_key += '\x01';
+    raw_key += optionsKeyPart(request.options);
+    const std::uint64_t raw_hash = fnv1a64(raw_key);
+    if (std::shared_ptr<CacheEntry> alias =
+            impl_->aliases.find(raw_key, raw_hash)) {
+        ticket.future = alias->future;
+        ticket.key = raw_hash;
+        if (alias->ready.load(std::memory_order_acquire)) {
+            ticket.source = Source::Hit;
+            impl_->bump(impl_->hits);
+        } else {
+            ticket.source = Source::Coalesced;
+            impl_->bump(impl_->coalesced);
+        }
+        return ticket;
+    }
+
+    // Reject bad request data without involving a worker: a
+    // worker-side fatal() would take down the whole service, so
+    // everything data-dependent — both texts and the scheduler
+    // choice — is validated here and answered with an error
+    // result instead.
+    auto reject = [&](std::string error) -> Ticket {
+        auto result = std::make_shared<CompileResult>();
+        result->error = std::move(error);
+        std::promise<ResultPtr> p;
+        p.set_value(std::move(result));
+        ticket.future = p.get_future().share();
+        ticket.source = Source::Invalid;
+        impl_->bump(impl_->invalid);
+        return ticket;
+    };
+
+    // Canonicalize: parse both texts and re-serialize, so every
+    // spelling of the same request (comments, whitespace, id gaps)
+    // lands on the same cache key. The machine is parsed first:
+    // flow-edge latencies in the loop format come from a latency
+    // model at parse time, and the machine's (which machineToText
+    // round-trips, overrides included) is the one the request
+    // names — the direct pipeline sees the same edges as long as
+    // the loop was built against the same model.
+    std::string error;
+    MachineModel machine = MachineModel::unclustered(1);
+    if (!machineFromText(request.machineText, machine, error))
+        return reject(std::move(error));
+    Loop loop;
+    if (!loopFromText(request.loopText, loop, error,
+                      machine.latency()))
+        return reject(std::move(error));
+
+    PipelineOptions options = request.options;
+    if (options.scheduler.empty())
+        options.scheduler = machine.clustered() ? "dms" : "ims";
+    std::unique_ptr<Scheduler> sched =
+        SchedulerRegistry::instance().create(options.scheduler);
+    if (sched == nullptr) {
+        return reject(strfmt("unknown scheduler '%s'",
+                             options.scheduler.c_str()));
+    }
+    if (!sched->supports(machine)) {
+        return reject(strfmt(
+            "scheduler '%s' does not support machine '%s'",
+            options.scheduler.c_str(),
+            machine.describe().c_str()));
+    }
+    // LoopRun extraction needs the perf stage; force it so a
+    // caller's perf=false cannot produce an unusable cached entry.
+    options.perf = true;
+
+    std::string key = loopToText(loop);
+    key += '\x01';
+    key += machineToText(machine);
+    key += '\x01';
+    key += optionsKeyPart(options);
+    ticket.key = fnv1a64(key);
+
+    std::shared_ptr<CacheEntry> entry;
+    ResultCache::Lookup found =
+        impl_->cache.acquire(key, ticket.key, entry);
+    ticket.future = entry->future;
+    impl_->aliases.insertAlias(raw_key, raw_hash, entry);
+    switch (found) {
+    case ResultCache::Lookup::Hit:
+        ticket.source = Source::Hit;
+        impl_->bump(impl_->hits);
+        return ticket;
+    case ResultCache::Lookup::InFlight:
+        ticket.source = Source::Coalesced;
+        impl_->bump(impl_->coalesced);
+        return ticket;
+    case ResultCache::Lookup::Inserted:
+        break;
+    }
+    ticket.source = Source::Miss;
+    impl_->bump(impl_->misses);
+    impl_->queue.push(std::unique_ptr<Job>(
+        new Job(std::move(entry), std::move(loop),
+                std::move(machine), std::move(options))));
+    return ticket;
+}
+
+CompileService::ResultPtr
+CompileService::compile(const CompileRequest &request)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    Ticket ticket = submit(request);
+    ResultPtr result = ticket.future.get();
+    auto t1 = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    {
+        std::lock_guard<std::mutex> lock(impl_->statsMu);
+        impl_->latenciesMs.add(ms);
+    }
+    return result;
+}
+
+ServeStats
+CompileService::stats() const
+{
+    ServeStats out;
+    // Copy the sample store under the lock, rank outside it: the
+    // percentile selects are O(reservoir) each and must not stall
+    // every concurrent compile()/submit() on statsMu.
+    Samples latencies;
+    {
+        std::lock_guard<std::mutex> lock(impl_->statsMu);
+        out.requests = impl_->requests;
+        out.hits = impl_->hits;
+        out.coalesced = impl_->coalesced;
+        out.misses = impl_->misses;
+        out.invalid = impl_->invalid;
+        latencies = impl_->latenciesMs;
+    }
+    out.latencySamples = latencies.count();
+    out.p50Ms = latencies.percentile(50);
+    out.p90Ms = latencies.percentile(90);
+    out.p99Ms = latencies.percentile(99);
+    out.maxMs = latencies.max();
+    out.meanMs = latencies.mean();
+    out.evictions = impl_->cache.evictions() +
+                    impl_->aliases.evictions();
+    out.cached = impl_->cache.size();
+    out.queueDepth = impl_->queue.depth();
+    out.peakQueueDepth = impl_->queue.peak();
+    return out;
+}
+
+} // namespace dms

@@ -1,0 +1,222 @@
+#ifndef DMS_SERVE_SERVICE_H
+#define DMS_SERVE_SERVICE_H
+
+/**
+ * @file
+ * Compilation-as-a-service: a long-lived CompileService that turns
+ * the one-shot staged pipeline into a request/response system.
+ *
+ *   - Requests carry the *textual* formats the repo already speaks:
+ *     a loop in workload/text form and a machine in machine/desc
+ *     form, plus pipeline options. That makes requests storable,
+ *     diffable, and transport-agnostic.
+ *   - A bounded MPMC queue feeds a pool of worker threads; each
+ *     worker owns one CompilationContext, so arenas (body graph,
+ *     scheduler worklists, reservation tables) are reused across
+ *     requests exactly like the evaluation runner reuses them
+ *     across matrix cells.
+ *   - Results are memoized in a sharded cache keyed by the FNV hash
+ *     of the canonical request text (loopToText/machineToText
+ *     round-trips plus the option fields). Identical in-flight
+ *     requests coalesce onto one compilation (single-flight);
+ *     identical later requests are pure lookups returning the
+ *     bit-identical cached result.
+ *
+ * The service is the unit the ROADMAP's "serve-style batching"
+ * item asked for: the evaluation runner can route whole sweeps
+ * through it (RunnerOptions::service), dmsd serves scripts or a
+ * generated load against it, and bench/serve_throughput measures
+ * its warm-vs-cold throughput.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/pipeline.h"
+#include "eval/runner.h"
+#include "serve/cache.h"
+#include "support/stats.h"
+
+namespace dms {
+
+/** Service shape knobs; every field has a DMS_SERVE_* env twin. */
+struct ServeOptions
+{
+    /** Worker threads; 0 picks ThreadPool::defaultJobs(). */
+    int workers = 0;
+
+    /** Bounded request-queue capacity (submitters block when full). */
+    int queueDepth = 256;
+
+    /** Result-cache shard count. */
+    int shards = 8;
+
+    /** Result-cache capacity (ready entries across all shards). */
+    int cacheCapacity = 4096;
+
+    /**
+     * Environment overrides via the strict parse path (garbage,
+     * trailing junk and overflow rejected with a warning):
+     * DMS_SERVE_WORKERS, DMS_SERVE_QUEUE_DEPTH, DMS_SERVE_SHARDS,
+     * DMS_SERVE_CACHE_CAP.
+     */
+    static ServeOptions fromEnv();
+};
+
+/** One compilation request in the shared text formats. */
+struct CompileRequest
+{
+    std::string loopText;    ///< workload/text format
+    std::string machineText; ///< machine/desc format
+
+    /**
+     * Pipeline configuration. An empty scheduler name resolves to
+     * "dms" on clustered machines and "ims" otherwise (the dmsc
+     * default). The MII hint fields are ignored for keying — the
+     * pipeline recomputes them per compile.
+     */
+    PipelineOptions options;
+};
+
+/** What the service returns (and caches) for one request. */
+struct CompileResult
+{
+    /**
+     * False when the request was rejected before compilation:
+     * malformed loop or machine text, an unknown scheduler name,
+     * or a scheduler that does not support the machine. Rejected
+     * requests are never cached.
+     */
+    bool parsed = false;
+
+    /** Rejection reason when !parsed ("line N: ..."). */
+    std::string error;
+
+    /** Schedule found (meaningful only when parsed). */
+    bool ok = false;
+
+    /** The sweep-cell summary, identical to the direct-path run. */
+    LoopRun run;
+
+    /**
+     * Full pipelined code (emitPipelinedCode) when the request had
+     * codegen enabled and scheduling succeeded; empty otherwise.
+     */
+    std::string kernelText;
+};
+
+/** Point-in-time service counters. */
+struct ServeStats
+{
+    std::uint64_t requests = 0;  ///< submits, including invalid
+    std::uint64_t hits = 0;      ///< served from the cache
+    std::uint64_t coalesced = 0; ///< joined an in-flight compile
+    std::uint64_t misses = 0;    ///< cold compilations started
+    std::uint64_t invalid = 0;   ///< requests that failed to parse
+    std::uint64_t evictions = 0; ///< cache entries dropped
+    std::uint64_t cached = 0;    ///< entries resident right now
+
+    int queueDepth = 0;     ///< requests waiting right now
+    int peakQueueDepth = 0; ///< high-water mark
+
+    /** @name End-to-end compile() latency (milliseconds) */
+    /// @{
+    std::uint64_t latencySamples = 0;
+    double p50Ms = 0;
+    double p90Ms = 0;
+    double p99Ms = 0;
+    double maxMs = 0;
+    double meanMs = 0;
+    /// @}
+
+    double
+    hitRate() const
+    {
+        return requests == 0
+                   ? 0.0
+                   : static_cast<double>(hits + coalesced) /
+                         static_cast<double>(requests);
+    }
+};
+
+/**
+ * The long-lived compile server. Thread-safe: any number of client
+ * threads may submit()/compile() concurrently. Destruction drains
+ * the queue (every accepted request is answered) and joins the
+ * workers.
+ */
+class CompileService
+{
+  public:
+    using ResultPtr = std::shared_ptr<const CompileResult>;
+
+    /** How a submit resolved against the cache. */
+    enum class Source : std::uint8_t {
+        Miss,      ///< cold: this request started a compilation
+        Coalesced, ///< duplicate of an in-flight compilation
+        Hit,       ///< served from the cache
+        Invalid,   ///< request text failed to parse (not cached)
+    };
+
+    /** Handle for an accepted request. */
+    struct Ticket
+    {
+        std::shared_future<ResultPtr> future;
+        Source source = Source::Miss;
+
+        /**
+         * FNV hash of the cache key that resolved this request —
+         * the canonical key, or the raw-spelling alias key on the
+         * fast path. A diagnostic for logs, not a correlation id:
+         * two spellings of one request can carry different
+         * hashes (0 for Invalid).
+         */
+        std::uint64_t key = 0;
+    };
+
+    explicit CompileService(ServeOptions opts = {});
+    ~CompileService();
+
+    CompileService(const CompileService &) = delete;
+    CompileService &operator=(const CompileService &) = delete;
+
+    /**
+     * Asynchronous entry point: canonicalize, consult the cache,
+     * and (on a miss) enqueue the compilation. Blocks only while
+     * the bounded queue is full.
+     */
+    Ticket submit(const CompileRequest &request);
+
+    /**
+     * Synchronous entry point: submit() then wait. Records the
+     * end-to-end latency into the stats.
+     */
+    ResultPtr compile(const CompileRequest &request);
+
+    /** Snapshot of the counters and latency percentiles. */
+    ServeStats stats() const;
+
+    const ServeOptions &options() const { return opts_; }
+
+    /** Resolved worker count (>= 1). */
+    int workers() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+    ServeOptions opts_;
+};
+
+/**
+ * Build the canonical service request for one (loop, machine,
+ * options) cell — the exact texts and resolved scheduler name the
+ * cache keys on. Shared by the runner routing and the tests.
+ */
+CompileRequest makeRequest(const Loop &loop,
+                           const MachineModel &machine,
+                           const PipelineOptions &options);
+
+} // namespace dms
+
+#endif // DMS_SERVE_SERVICE_H

@@ -51,6 +51,68 @@ Accumulator::stddev() const
     return std::sqrt(m2_ / static_cast<double>(n_ - 1));
 }
 
+void
+Samples::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    if (cap_ == 0 || values_.size() < cap_) {
+        values_.push_back(x);
+        return;
+    }
+    // Reservoir (algorithm R): keep x with probability cap/n, in
+    // a uniformly random slot. The LCG keeps this deterministic
+    // and allocation-free.
+    lcg_ = lcg_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    std::uint64_t slot = (lcg_ >> 16) % n_;
+    if (slot < cap_)
+        values_[slot] = x;
+}
+
+void
+Samples::merge(const Samples &other)
+{
+    DMS_ASSERT(cap_ == 0 && other.cap_ == 0,
+               "merge of reservoir-capped Samples unsupported");
+    if (other.n_ > 0)
+        max_ = n_ == 0 ? other.max_ : std::max(max_, other.max_);
+    n_ += other.n_;
+    sum_ += other.sum_;
+    values_.insert(values_.end(), other.values_.begin(),
+                   other.values_.end());
+}
+
+double
+Samples::mean() const
+{
+    return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_);
+}
+
+double
+Samples::max() const
+{
+    return n_ == 0 ? 0.0 : max_;
+}
+
+double
+Samples::percentile(double p) const
+{
+    DMS_ASSERT(p >= 0.0 && p <= 100.0, "percentile %f out of range",
+               p);
+    if (values_.empty())
+        return 0.0;
+    std::vector<double> scratch(values_);
+    size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(scratch.size())));
+    if (rank > 0)
+        --rank; // nearest-rank is 1-based
+    std::nth_element(scratch.begin(),
+                     scratch.begin() + static_cast<long>(rank),
+                     scratch.end());
+    return scratch[rank];
+}
+
 Histogram::Histogram(int lo, int width, int buckets)
     : lo_(lo), width_(width), counts_(static_cast<size_t>(buckets), 0)
 {

@@ -35,6 +35,55 @@ class Accumulator
     double m2_ = 0.0;
 };
 
+/**
+ * Sample store with percentile extraction, used for service
+ * latency distributions. With a non-zero @p cap the store keeps a
+ * uniform reservoir (algorithm R, deterministic LCG) of that many
+ * samples, so memory stays bounded on a long-lived service while
+ * count/mean/max remain exact over every sample ever added and
+ * percentiles are unbiased estimates. cap 0 keeps everything
+ * (exact percentiles). Not thread-safe: callers that share one
+ * instance across threads hold their own lock (the serve stats
+ * path does). Percentiles use the nearest-rank definition on a
+ * scratch copy, so add() stays O(1) on the hot path.
+ */
+class Samples
+{
+  public:
+    explicit Samples(std::uint64_t cap = 0) : cap_(cap) {}
+
+    void add(double x);
+
+    /** Samples ever added (not bounded by the reservoir cap). */
+    std::uint64_t count() const { return n_; }
+    /** Exact mean over every sample added. */
+    double mean() const;
+    /** Exact max over every sample added. */
+    double max() const;
+
+    /**
+     * Nearest-rank percentile for @p p in [0, 100] over the
+     * resident samples; 0 when none were recorded.
+     */
+    double percentile(double p) const;
+
+    /**
+     * Fold @p other into this store. Supported for uncapped
+     * stores only (a reservoir merge would need per-sample
+     * weights); asserts otherwise. Lets per-thread collectors
+     * combine without sharing a lock on the hot path.
+     */
+    void merge(const Samples &other);
+
+  private:
+    std::uint64_t cap_;
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t lcg_ = 0x2545f4914f6cdd1dULL;
+    std::vector<double> values_;
+};
+
 /** Fixed-bucket histogram over integer values. */
 class Histogram
 {

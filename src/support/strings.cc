@@ -5,6 +5,8 @@
 #include <climits>
 #include <cstdlib>
 
+#include "support/diag.h"
+
 namespace dms {
 
 std::vector<std::string>
@@ -63,6 +65,38 @@ parseInt(std::string_view s, int &out)
         return false; // out of int range
     out = static_cast<int>(v);
     return true;
+}
+
+bool
+parseSignedInt(std::string_view s, int &out)
+{
+    std::string t = trim(s);
+    if (t.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    long v = std::strtol(t.c_str(), &end, 10);
+    if (end == nullptr || end == t.c_str() || *end != '\0')
+        return false; // empty digits or trailing garbage
+    if (errno == ERANGE || v < INT_MIN || v > INT_MAX)
+        return false; // out of int range
+    out = static_cast<int>(v);
+    return true;
+}
+
+int
+envInt(const char *var, int fallback, int lo)
+{
+    const char *s = std::getenv(var);
+    if (s == nullptr)
+        return fallback;
+    int v = 0;
+    if (!parseSignedInt(s, v) || v < lo) {
+        warn("%s='%s' is not an integer >= %d; using %d", var, s,
+             lo, fallback);
+        return fallback;
+    }
+    return v;
 }
 
 } // namespace dms

@@ -25,6 +25,21 @@ std::string trim(std::string_view s);
 /** Parse a non-negative integer; returns false on garbage. */
 bool parseInt(std::string_view s, int &out);
 
+/**
+ * Parse a possibly-negative integer; same strictness as parseInt
+ * (no trailing garbage, no overflow). Used where the textual
+ * formats carry signed values (memory offsets, const literals).
+ */
+bool parseSignedInt(std::string_view s, int &out);
+
+/**
+ * Checked integer environment knob: @p fallback when @p var is
+ * unset; values that are not integers >= @p lo — garbage, trailing
+ * junk, overflow, or too small — are rejected with a warning. The
+ * strict-parse path every DMS_* knob goes through.
+ */
+int envInt(const char *var, int fallback, int lo = 1);
+
 } // namespace dms
 
 #endif // DMS_SUPPORT_STRINGS_H

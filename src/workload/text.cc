@@ -1,6 +1,8 @@
 #include "workload/text.h"
 
+#include <fstream>
 #include <map>
+#include <sstream>
 
 #include "ir/scc.h"
 #include "ir/verify.h"
@@ -11,58 +13,98 @@ namespace dms {
 
 namespace {
 
-Opcode
-opcodeFromName(const std::string &name, int line)
+/**
+ * Error-carrying parse state. Every helper returns false after
+ * setError(); the public entry points either propagate the message
+ * or fatal() with it, so the strict one-exit-per-line behaviour of
+ * the original parser is preserved for the CLI while the service
+ * can reject a request without dying.
+ */
+struct ParseState
+{
+    std::string error;
+
+    __attribute__((format(printf, 2, 3))) bool
+    fail(const char *fmt, ...)
+    {
+        va_list ap;
+        va_start(ap, fmt);
+        error = vstrfmt(fmt, ap);
+        va_end(ap);
+        return false;
+    }
+};
+
+bool
+opcodeFromName(const std::string &name, int line, Opcode &out,
+               ParseState &ps)
 {
     for (int i = 0; i < kNumOpcodes; ++i) {
         Opcode o = static_cast<Opcode>(i);
-        if (name == opcodeName(o))
-            return o;
+        if (name == opcodeName(o)) {
+            out = o;
+            return true;
+        }
     }
-    fatal("line %d: unknown opcode '%s'", line, name.c_str());
+    return ps.fail("line %d: unknown opcode '%s'", line,
+                   name.c_str());
 }
 
-DepKind
-depKindFromName(const std::string &name, int line)
+bool
+depKindFromName(const std::string &name, int line, DepKind &out,
+                ParseState &ps)
 {
     if (name == "flow")
-        return DepKind::Flow;
-    if (name == "anti")
-        return DepKind::Anti;
-    if (name == "output")
-        return DepKind::Output;
-    if (name == "memory")
-        return DepKind::Memory;
-    fatal("line %d: unknown dependence kind '%s'", line,
-          name.c_str());
+        out = DepKind::Flow;
+    else if (name == "anti")
+        out = DepKind::Anti;
+    else if (name == "output")
+        out = DepKind::Output;
+    else if (name == "memory")
+        out = DepKind::Memory;
+    else
+        return ps.fail("line %d: unknown dependence kind '%s'",
+                       line, name.c_str());
+    return true;
 }
 
 /** Parse "key=value" attributes into a map. */
-std::map<std::string, std::string>
-attrs(const std::vector<std::string> &fields, size_t from, int line)
+bool
+attrs(const std::vector<std::string> &fields, size_t from, int line,
+      std::map<std::string, std::string> &out, ParseState &ps)
 {
-    std::map<std::string, std::string> out;
+    out.clear();
     for (size_t i = from; i < fields.size(); ++i) {
         auto kv = split(fields[i], '=');
         if (kv.size() != 2)
-            fatal("line %d: bad attribute '%s'", line,
-                  fields[i].c_str());
+            return ps.fail("line %d: bad attribute '%s'", line,
+                           fields[i].c_str());
         out[kv[0]] = kv[1];
     }
-    return out;
+    return true;
 }
 
-int
+/**
+ * Integer attribute lookup. @p allow_negative selects the signed
+ * parse — offsets and const literals are signed in the format,
+ * everything else (ids, distances, slots, latencies) is not.
+ */
+bool
 attrInt(const std::map<std::string, std::string> &a,
-        const std::string &key, int fallback, int line)
+        const std::string &key, int fallback, int line, int &out,
+        ParseState &ps, bool allow_negative = false)
 {
     auto it = a.find(key);
-    if (it == a.end())
-        return fallback;
-    int v = 0;
-    if (!parseInt(it->second, v))
-        fatal("line %d: bad integer for %s", line, key.c_str());
-    return v;
+    if (it == a.end()) {
+        out = fallback;
+        return true;
+    }
+    bool ok = allow_negative ? parseSignedInt(it->second, out)
+                             : parseInt(it->second, out);
+    if (!ok)
+        return ps.fail("line %d: bad integer for %s", line,
+                       key.c_str());
+    return true;
 }
 
 std::vector<std::string>
@@ -83,11 +125,17 @@ loopToText(const Loop &loop)
 {
     std::string out = strfmt("loop %s trip %ld\n",
                              loop.name.c_str(), loop.tripCount);
+    // Canonical ids: live ops renumbered densely in id order, so a
+    // graph with holes (dead ops) serializes identically to its
+    // re-parsed self and the text is a stable cache key.
+    std::map<OpId, int> dense;
     for (OpId id = 0; id < loop.ddg.numOps(); ++id) {
         if (!loop.ddg.opLive(id))
             continue;
+        int fid = static_cast<int>(dense.size());
+        dense[id] = fid;
         const Operation &o = loop.ddg.op(id);
-        out += strfmt("op %d %s", id, opcodeName(o.opc));
+        out += strfmt("op %d %s", fid, opcodeName(o.opc));
         if (o.memStream >= 0)
             out += strfmt(" stream=%d", o.memStream);
         if (o.memOffset != 0)
@@ -101,8 +149,9 @@ loopToText(const Loop &loop)
         if (!loop.ddg.edgeLive(e))
             continue;
         const Edge &ed = loop.ddg.edge(e);
-        out += strfmt("edge %d %d %s dist=%d", ed.src, ed.dst,
-                      depKindName(ed.kind), ed.distance);
+        out += strfmt("edge %d %d %s dist=%d", dense.at(ed.src),
+                      dense.at(ed.dst), depKindName(ed.kind),
+                      ed.distance);
         if (ed.kind == DepKind::Flow)
             out += strfmt(" slot=%d", ed.operandIndex);
         else
@@ -112,12 +161,15 @@ loopToText(const Loop &loop)
     return out;
 }
 
-Loop
-loopFromText(const std::string &text, const LatencyModel &lat)
+bool
+loopFromText(const std::string &text, Loop &out, std::string &error,
+             const LatencyModel &lat)
 {
-    Loop loop;
-    loop.name = "unnamed";
+    ParseState ps;
+    out = Loop();
+    out.name = "unnamed";
     std::map<int, OpId> ids; // file id -> ddg id
+    std::map<std::string, std::string> a;
 
     int line_no = 0;
     for (const std::string &raw : split(text, '\n')) {
@@ -128,68 +180,147 @@ loopFromText(const std::string &text, const LatencyModel &lat)
         auto f = tokens(line);
 
         if (f[0] == "loop") {
-            if (f.size() < 2)
-                fatal("line %d: loop needs a name", line_no);
-            loop.name = f[1];
+            if (f.size() < 2) {
+                ps.fail("line %d: loop needs a name", line_no);
+                break;
+            }
+            out.name = f[1];
             if (f.size() >= 4 && f[2] == "trip") {
                 int trip = 0;
-                if (!parseInt(f[3], trip))
-                    fatal("line %d: bad trip count", line_no);
-                loop.tripCount = trip;
+                if (!parseInt(f[3], trip)) {
+                    ps.fail("line %d: bad trip count", line_no);
+                    break;
+                }
+                out.tripCount = trip;
             }
         } else if (f[0] == "op") {
-            if (f.size() < 3)
-                fatal("line %d: op needs id and opcode", line_no);
+            if (f.size() < 3) {
+                ps.fail("line %d: op needs id and opcode", line_no);
+                break;
+            }
             int fid = 0;
-            if (!parseInt(f[1], fid))
-                fatal("line %d: bad op id", line_no);
-            if (ids.count(fid))
-                fatal("line %d: duplicate op id %d", line_no, fid);
-            Opcode opc = opcodeFromName(f[2], line_no);
-            auto a = attrs(f, 3, line_no);
-            OpId id = loop.ddg.addOp(opc);
-            loop.ddg.op(id).memStream =
-                attrInt(a, "stream", -1, line_no);
-            loop.ddg.op(id).memOffset =
-                attrInt(a, "offset", 0, line_no);
-            loop.ddg.op(id).literal =
-                attrInt(a, "lit", 0, line_no);
+            if (!parseInt(f[1], fid)) {
+                ps.fail("line %d: bad op id", line_no);
+                break;
+            }
+            if (ids.count(fid)) {
+                ps.fail("line %d: duplicate op id %d", line_no,
+                        fid);
+                break;
+            }
+            Opcode opc = Opcode::Add;
+            if (!opcodeFromName(f[2], line_no, opc, ps))
+                break;
+            if (!attrs(f, 3, line_no, a, ps))
+                break;
+            int stream = -1;
+            int offset = 0;
+            int literal = 0;
+            if (!attrInt(a, "stream", -1, line_no, stream, ps) ||
+                !attrInt(a, "offset", 0, line_no, offset, ps,
+                         /*allow_negative=*/true) ||
+                !attrInt(a, "lit", 0, line_no, literal, ps,
+                         /*allow_negative=*/true)) {
+                break;
+            }
+            OpId id = out.ddg.addOp(opc);
+            out.ddg.op(id).memStream = stream;
+            out.ddg.op(id).memOffset = offset;
+            out.ddg.op(id).literal = literal;
             ids[fid] = id;
         } else if (f[0] == "edge") {
-            if (f.size() < 4)
-                fatal("line %d: edge needs src dst kind", line_no);
+            if (f.size() < 4) {
+                ps.fail("line %d: edge needs src dst kind",
+                        line_no);
+                break;
+            }
             int src = 0;
             int dst = 0;
-            if (!parseInt(f[1], src) || !parseInt(f[2], dst))
-                fatal("line %d: bad edge endpoints", line_no);
-            if (!ids.count(src) || !ids.count(dst))
-                fatal("line %d: edge references unknown op",
-                      line_no);
-            DepKind kind = depKindFromName(f[3], line_no);
-            auto a = attrs(f, 4, line_no);
-            int dist = attrInt(a, "dist", 0, line_no);
+            if (!parseInt(f[1], src) || !parseInt(f[2], dst)) {
+                ps.fail("line %d: bad edge endpoints", line_no);
+                break;
+            }
+            if (!ids.count(src) || !ids.count(dst)) {
+                ps.fail("line %d: edge references unknown op",
+                        line_no);
+                break;
+            }
+            DepKind kind = DepKind::Flow;
+            if (!depKindFromName(f[3], line_no, kind, ps))
+                break;
+            if (!attrs(f, 4, line_no, a, ps))
+                break;
+            int dist = 0;
+            if (!attrInt(a, "dist", 0, line_no, dist, ps))
+                break;
             if (kind == DepKind::Flow) {
-                int slot = attrInt(a, "slot", 0, line_no);
+                int slot = 0;
+                if (!attrInt(a, "slot", 0, line_no, slot, ps))
+                    break;
                 OpId s = ids[src];
-                loop.ddg.addEdge(s, ids[dst], kind, dist,
-                                 lat.of(loop.ddg.op(s).opc), slot);
+                out.ddg.addEdge(s, ids[dst], kind, dist,
+                                lat.of(out.ddg.op(s).opc), slot);
             } else {
                 int fallback = kind == DepKind::Anti ? 0 : 1;
-                int l = attrInt(a, "lat", fallback, line_no);
-                loop.ddg.addEdge(ids[src], ids[dst], kind, dist, l);
+                int l = 0;
+                if (!attrInt(a, "lat", fallback, line_no, l, ps))
+                    break;
+                out.ddg.addEdge(ids[src], ids[dst], kind, dist, l);
             }
         } else {
-            fatal("line %d: unknown directive '%s'", line_no,
-                  f[0].c_str());
+            ps.fail("line %d: unknown directive '%s'", line_no,
+                    f[0].c_str());
+            break;
         }
     }
 
-    auto problems = verifyDdg(loop.ddg);
-    if (!problems.empty())
-        fatal("invalid loop '%s': %s", loop.name.c_str(),
-              problems[0].c_str());
-    loop.recurrence = hasRecurrence(loop.ddg);
+    if (!ps.error.empty()) {
+        error = ps.error;
+        return false;
+    }
+    auto problems = verifyDdg(out.ddg);
+    if (!problems.empty()) {
+        error = strfmt("invalid loop '%s': %s", out.name.c_str(),
+                       problems[0].c_str());
+        return false;
+    }
+    out.recurrence = hasRecurrence(out.ddg);
+    return true;
+}
+
+Loop
+loopFromText(const std::string &text, const LatencyModel &lat)
+{
+    Loop loop;
+    std::string error;
+    if (!loopFromText(text, loop, error, lat))
+        fatal("%s", error.c_str());
     return loop;
+}
+
+bool
+loadLoopSpec(const std::string &spec, Loop &out, std::string &error,
+             const LatencyModel &lat)
+{
+    if (spec.rfind("kernel:", 0) == 0) {
+        std::string name = spec.substr(7);
+        for (Loop &k : namedKernels()) {
+            if (k.name == name) {
+                out = std::move(k);
+                return true;
+            }
+        }
+        error = strfmt("unknown kernel '%s'", name.c_str());
+        return false;
+    }
+    std::ifstream in(spec);
+    if (!in) {
+        error = strfmt("cannot open '%s'", spec.c_str());
+        return false;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return loopFromText(ss.str(), out, error, lat);
 }
 
 } // namespace dms

@@ -4,7 +4,8 @@
 /**
  * @file
  * Human-readable DDG serialization, so loop bodies can be stored
- * in files, diffed, and fed to the command-line driver. Format:
+ * in files, diffed, and fed to the command-line driver and the
+ * compile service. Format:
  *
  *   # comment
  *   loop dot_product trip 500
@@ -22,6 +23,12 @@
  * Flow-edge latencies come from the latency model at parse time;
  * non-flow edges take an explicit lat=N attribute (default 1 for
  * memory, 0 for anti, 1 for output).
+ *
+ * loopToText emits the *canonical* form: live operations renumbered
+ * densely from 0 in id order, edges in edge-id order, attributes in
+ * a fixed order. Canonicalization is idempotent —
+ * loopToText(loopFromText(t)) is a fixed point after one round trip
+ * — which is what lets the serve cache key on the canonical text.
  */
 
 #include <string>
@@ -30,14 +37,31 @@
 
 namespace dms {
 
-/** Serialize a loop (ops, edges, trip count). */
+/** Serialize a loop (ops, edges, trip count) in canonical form. */
 std::string loopToText(const Loop &loop);
 
 /**
- * Parse the textual format. Latencies of flow edges are taken
- * from @p lat. fatal()s with a line number on malformed input.
+ * Parse the textual format into @p out. Returns false and fills
+ * @p error (prefixed "line N: " where applicable) on malformed
+ * input; @p out is unspecified then. Flow-edge latencies are taken
+ * from @p lat.
  */
+bool loopFromText(const std::string &text, Loop &out,
+                  std::string &error,
+                  const LatencyModel &lat = LatencyModel());
+
+/** Parsing front-end that fatal()s on malformed input. */
 Loop loopFromText(const std::string &text,
+                  const LatencyModel &lat = LatencyModel());
+
+/**
+ * Resolve a loop spec the way the CLI and the service both do:
+ * "kernel:NAME" names a built-in kernel, anything else is a path
+ * to a file in the textual format above. Returns false and fills
+ * @p error on an unknown kernel, unreadable file, or parse error.
+ */
+bool loadLoopSpec(const std::string &spec, Loop &out,
+                  std::string &error,
                   const LatencyModel &lat = LatencyModel());
 
 } // namespace dms

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Compile-service tests: env-knob hardening, cold/warm parity
+ * (bit-identical cached results), single-flight dedup under
+ * concurrent duplicate requests (the ASan/TSan-relevant hammer),
+ * sweep routing equivalence, capacity eviction, and graceful
+ * rejection of malformed requests.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codegen/emit.h"
+#include "eval/runner.h"
+#include "machine/desc.h"
+#include "serve/cache.h"
+#include "serve/service.h"
+#include "support/strings.h"
+#include "workload/suite.h"
+#include "workload/text.h"
+
+namespace dms {
+namespace {
+
+/** Canonical request for one named kernel on the paper's ring. */
+CompileRequest
+kernelRequest(const char *kernel, bool codegen = true)
+{
+    Loop loop;
+    std::string error;
+    EXPECT_TRUE(loadLoopSpec(
+        (std::string("kernel:") + kernel).c_str(), loop, error))
+        << error;
+    PipelineOptions po;
+    po.scheduler = "dms";
+    po.regalloc = true;
+    po.codegen = codegen;
+    return makeRequest(loop, MachineModel::clusteredRing(4), po);
+}
+
+TEST(ServeOptionsEnv, StrictKnobParsing)
+{
+    // Garbage, trailing junk, overflow and out-of-range values all
+    // fall back to the defaults (same strict path as DMS_JOBS).
+    ::setenv("DMS_SERVE_QUEUE_DEPTH", "12x", 1);
+    ::setenv("DMS_SERVE_SHARDS", "99999999999999", 1);
+    ::setenv("DMS_SERVE_CACHE_CAP", "0", 1);
+    ::setenv("DMS_SERVE_WORKERS", "banana", 1);
+    ServeOptions defaults;
+    ServeOptions opts = ServeOptions::fromEnv();
+    EXPECT_EQ(opts.queueDepth, defaults.queueDepth);
+    EXPECT_EQ(opts.shards, defaults.shards);
+    EXPECT_EQ(opts.cacheCapacity, defaults.cacheCapacity);
+    EXPECT_EQ(opts.workers, defaults.workers);
+
+    ::setenv("DMS_SERVE_QUEUE_DEPTH", "17", 1);
+    ::setenv("DMS_SERVE_SHARDS", "3", 1);
+    ::setenv("DMS_SERVE_CACHE_CAP", "100", 1);
+    ::setenv("DMS_SERVE_WORKERS", "2", 1);
+    opts = ServeOptions::fromEnv();
+    EXPECT_EQ(opts.queueDepth, 17);
+    EXPECT_EQ(opts.shards, 3);
+    EXPECT_EQ(opts.cacheCapacity, 100);
+    EXPECT_EQ(opts.workers, 2);
+
+    ::unsetenv("DMS_SERVE_QUEUE_DEPTH");
+    ::unsetenv("DMS_SERVE_SHARDS");
+    ::unsetenv("DMS_SERVE_CACHE_CAP");
+    ::unsetenv("DMS_SERVE_WORKERS");
+}
+
+TEST(ServeCache, FnvMatchesReference)
+{
+    // FNV-1a reference values (RFC draft test vectors).
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+/**
+ * The acceptance-criteria parity test: a warm cache hit returns
+ * results bit-identical to the cold compile — the same LoopRun
+ * (every placement-derived field) and the same emitted kernel text
+ * — and identical to the direct (service-less) pipeline.
+ */
+TEST(Serve, WarmHitBitIdenticalToColdCompile)
+{
+    ServeOptions so;
+    so.workers = 2;
+    CompileService service(so);
+
+    CompileRequest req = kernelRequest("fir8");
+    CompileService::ResultPtr cold = service.compile(req);
+    ASSERT_TRUE(cold->parsed);
+    ASSERT_TRUE(cold->ok);
+
+    CompileService::Ticket warm_ticket = service.submit(req);
+    EXPECT_EQ(warm_ticket.source, CompileService::Source::Hit);
+    CompileService::ResultPtr warm = warm_ticket.future.get();
+
+    // A hit returns the *same* cached object...
+    EXPECT_EQ(warm.get(), cold.get());
+    // ...and the direct pipeline produces the identical artifacts.
+    Loop loop;
+    std::string error;
+    ASSERT_TRUE(loadLoopSpec("kernel:fir8", loop, error));
+    MachineModel machine = MachineModel::clusteredRing(4);
+    PipelineOptions po;
+    po.scheduler = "dms";
+    po.regalloc = true;
+    po.codegen = true;
+    Pipeline pipeline(po);
+    CompilationContext ctx;
+    LoopRun direct = runLoop(pipeline, loop, machine, ctx);
+    EXPECT_TRUE(warm->run == direct);
+    std::string direct_kernel = emitPipelinedCode(
+        ctx.scheduledDdg(), machine, ctx.kernel,
+        ctx.queuesValid ? &ctx.queues : nullptr);
+    EXPECT_EQ(warm->kernelText, direct_kernel);
+    EXPECT_FALSE(warm->kernelText.empty());
+
+    ServeStats stats = service.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+}
+
+/** Different spellings of one request land on one cache entry. */
+TEST(Serve, CanonicalizationUnifiesSpellings)
+{
+    ServeOptions so;
+    so.workers = 1;
+    CompileService service(so);
+
+    CompileRequest req = kernelRequest("daxpy",
+                                       /*codegen=*/false);
+    CompileService::ResultPtr first = service.compile(req);
+    ASSERT_TRUE(first->ok);
+
+    // Same loop, different spelling: comments, blank lines, and a
+    // gap in the op numbering (ids 10, 20, ... instead of dense).
+    CompileRequest alias = req;
+    std::string respelled = "# a comment\n";
+    for (const std::string &line : split(req.loopText, '\n')) {
+        respelled += line;
+        respelled += "\n\n";
+    }
+    alias.loopText = respelled;
+    CompileService::Ticket t = service.submit(alias);
+    EXPECT_EQ(t.source, CompileService::Source::Hit);
+    EXPECT_EQ(t.future.get().get(), first.get());
+}
+
+/**
+ * The hammer: many threads submit the same requests concurrently.
+ * Single-flight dedup must compile each distinct request exactly
+ * once, every duplicate must coalesce or hit, and every client
+ * must see the same result object. Run under the ASan/UBSan CI
+ * job, this is also the data-race check for the queue and cache.
+ */
+TEST(Serve, SingleFlightDedupUnderConcurrency)
+{
+    ServeOptions so;
+    so.workers = 3;
+    so.queueDepth = 8; // small: exercise producer backpressure
+    CompileService service(so);
+
+    const char *kernels[] = {"fir8", "daxpy", "iir2", "horner"};
+    constexpr int kClients = 8;
+    constexpr int kPerClient = 40;
+
+    std::vector<CompileRequest> requests;
+    for (const char *k : kernels)
+        requests.push_back(kernelRequest(k));
+
+    std::vector<CompileService::ResultPtr>
+        seen(kClients * kPerClient);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int i = 0; i < kPerClient; ++i) {
+                const CompileRequest &req =
+                    requests[static_cast<size_t>(i) %
+                             requests.size()];
+                seen[static_cast<size_t>(c * kPerClient + i)] =
+                    service.compile(req);
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    // Every duplicate resolved to the one cached object per key.
+    for (int i = 0; i < kClients * kPerClient; ++i) {
+        size_t key = static_cast<size_t>(i) % requests.size();
+        ASSERT_TRUE(seen[static_cast<size_t>(i)] != nullptr);
+        EXPECT_EQ(seen[static_cast<size_t>(i)].get(),
+                  seen[key].get());
+    }
+
+    ServeStats stats = service.stats();
+    EXPECT_EQ(stats.requests,
+              static_cast<std::uint64_t>(kClients * kPerClient));
+    // Exactly one cold compile per distinct request; everything
+    // else was deduplicated (hit or coalesced).
+    EXPECT_EQ(stats.misses, 4u);
+    EXPECT_EQ(stats.hits + stats.coalesced,
+              stats.requests - stats.misses);
+    EXPECT_EQ(stats.invalid, 0u);
+}
+
+/** Malformed requests are rejected without killing the service. */
+TEST(Serve, InvalidRequestsRejectedGracefully)
+{
+    ServeOptions so;
+    so.workers = 1;
+    CompileService service(so);
+
+    CompileRequest bad;
+    bad.loopText = "op 0 frobnicate\n";
+    bad.machineText = machineToText(MachineModel::clusteredRing(2));
+    CompileService::ResultPtr r = service.compile(bad);
+    EXPECT_FALSE(r->parsed);
+    EXPECT_NE(r->error.find("unknown opcode"), std::string::npos);
+
+    CompileRequest bad_machine = kernelRequest("daxpy");
+    bad_machine.machineText = "clusters banana\n";
+    r = service.compile(bad_machine);
+    EXPECT_FALSE(r->parsed);
+    EXPECT_FALSE(r->error.empty());
+
+    // Unknown scheduler names and scheduler/machine mismatches
+    // are data errors too: rejected in submit(), never handed to
+    // a worker (whose fatal() would kill the whole service).
+    CompileRequest bad_sched = kernelRequest("daxpy");
+    bad_sched.options.scheduler = "bogus";
+    r = service.compile(bad_sched);
+    EXPECT_FALSE(r->parsed);
+    EXPECT_NE(r->error.find("unknown scheduler"),
+              std::string::npos);
+
+    CompileRequest mismatched = kernelRequest("daxpy");
+    mismatched.options.scheduler = "dms";
+    mismatched.machineText =
+        machineToText(MachineModel::unclustered(4));
+    r = service.compile(mismatched);
+    EXPECT_FALSE(r->parsed);
+    EXPECT_NE(r->error.find("does not support"),
+              std::string::npos);
+
+    // The service still works afterwards.
+    CompileService::ResultPtr good =
+        service.compile(kernelRequest("daxpy"));
+    EXPECT_TRUE(good->ok);
+    EXPECT_EQ(service.stats().invalid, 4u);
+}
+
+/**
+ * Flow-edge latencies in the loop text come from the machine's
+ * latency model (overrides included), so a request against a
+ * `latency`-overridden machine schedules with the same edges the
+ * direct pipeline sees for a loop built against that model.
+ */
+TEST(Serve, MachineLatencyModelShapesFlowEdges)
+{
+    std::string machine_text = "clusters 2\n"
+                               "topology ring\n"
+                               "regfile queues\n"
+                               "fus ldst=1 add=1 mul=1 copy=1\n"
+                               "latency mul=5\n";
+    MachineModel machine = machineFromTextOrDie(machine_text);
+
+    CompileRequest req;
+    req.loopText = loopToText(kernelIir2());
+    req.machineText = machine_text;
+    req.options.scheduler = "dms";
+    req.options.regalloc = true;
+
+    ServeOptions so;
+    so.workers = 1;
+    CompileService service(so);
+    CompileService::ResultPtr served = service.compile(req);
+    ASSERT_TRUE(served->parsed) << served->error;
+    ASSERT_TRUE(served->ok);
+
+    Loop direct_loop =
+        loopFromText(req.loopText, machine.latency());
+    PipelineOptions po;
+    po.scheduler = "dms";
+    po.regalloc = true;
+    Pipeline pipeline(po);
+    CompilationContext ctx;
+    LoopRun direct = runLoop(pipeline, direct_loop, machine, ctx);
+    EXPECT_TRUE(served->run == direct);
+    // The override actually bit: iir2's recurrence runs through a
+    // mul, so mul=5 pushes the recurrence-bound II beyond the
+    // default-latency machine's.
+    CompilationContext ctx2;
+    LoopRun default_lat = runLoop(
+        pipeline, loopFromText(req.loopText),
+        MachineModel::clusteredRing(2), ctx2);
+    EXPECT_GT(direct.ii, default_lat.ii);
+}
+
+/** Capacity-bounded: old ready entries are evicted and recompile. */
+TEST(Serve, EvictionRecompilesEvictedKeys)
+{
+    ServeOptions so;
+    so.workers = 1;
+    so.shards = 1; // one shard => strict FIFO eviction order
+    so.cacheCapacity = 2;
+    CompileService service(so);
+
+    const char *kernels[] = {"fir8", "daxpy", "iir2", "horner"};
+    for (const char *k : kernels)
+        ASSERT_TRUE(service.compile(kernelRequest(k))->ok) << k;
+    ServeStats stats = service.stats();
+    EXPECT_EQ(stats.misses, 4u);
+    EXPECT_GT(stats.evictions, 0u);
+
+    // fir8 was evicted: recompiles (a miss, not a hit) and still
+    // produces the bit-identical result.
+    CompileService::ResultPtr again =
+        service.compile(kernelRequest("fir8"));
+    stats = service.stats();
+    EXPECT_EQ(stats.misses, 5u);
+    EXPECT_TRUE(again->ok);
+}
+
+/**
+ * Sweep routing: a matrix run through the service must be
+ * bit-identical to the direct path, and a second run must be
+ * served from the cache.
+ */
+TEST(Serve, MatrixViaServiceBitIdentical)
+{
+    std::vector<Loop> suite = standardSuite(kSuiteSeed, 4);
+    suite.resize(6); // 4 synth + 2 kernels: keep the test quick
+
+    RunnerOptions direct;
+    direct.maxClusters = 3;
+    direct.progress = false;
+    direct.jobs = 1;
+    std::vector<ConfigRun> want = runMatrix(suite, direct);
+
+    ServeOptions so;
+    so.workers = 2;
+    CompileService service(so);
+    RunnerOptions routed = direct;
+    routed.service = &service;
+    std::vector<ConfigRun> got = runMatrix(suite, routed);
+    EXPECT_TRUE(got == want);
+
+    ServeStats after_first = service.stats();
+    EXPECT_EQ(after_first.hits + after_first.coalesced, 0u);
+
+    // Second sweep: every cell is a cache hit, same matrix.
+    std::vector<ConfigRun> warm = runMatrix(suite, routed);
+    EXPECT_TRUE(warm == want);
+    ServeStats after_second = service.stats();
+    EXPECT_EQ(after_second.misses, after_first.misses);
+    EXPECT_EQ(after_second.hits - after_first.hits,
+              after_first.misses);
+}
+
+} // namespace
+} // namespace dms

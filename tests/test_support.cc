@@ -204,5 +204,53 @@ TEST(Strings, ParseInt)
     EXPECT_FALSE(parseInt("3x", v));
 }
 
+TEST(Strings, ParseSignedInt)
+{
+    int v = 0;
+    EXPECT_TRUE(parseSignedInt("-17", v));
+    EXPECT_EQ(v, -17);
+    EXPECT_TRUE(parseSignedInt("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseSignedInt(" -3 ", v));
+    EXPECT_EQ(v, -3);
+    EXPECT_FALSE(parseSignedInt("-", v));
+    EXPECT_FALSE(parseSignedInt("-3x", v));
+    EXPECT_FALSE(parseSignedInt("", v));
+    // Overflow in both directions is rejected, not clamped.
+    EXPECT_FALSE(parseSignedInt("99999999999999", v));
+    EXPECT_FALSE(parseSignedInt("-99999999999999", v));
+}
+
+TEST(Samples, PercentilesNearestRank)
+{
+    Samples s;
+    EXPECT_EQ(s.percentile(50), 0.0);
+    EXPECT_EQ(s.mean(), 0.0);
+    for (int i = 100; i >= 1; --i)
+        s.add(i); // 1..100, reverse insertion order
+    EXPECT_EQ(s.count(), 100u);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Samples, ReservoirCapBoundsMemoryKeepsExactMoments)
+{
+    Samples s(10);
+    for (int i = 1; i <= 1000; ++i)
+        s.add(i);
+    // count/mean/max are exact over everything added; percentiles
+    // come from the 10-sample reservoir but stay in range.
+    EXPECT_EQ(s.count(), 1000u);
+    EXPECT_DOUBLE_EQ(s.mean(), 500.5);
+    EXPECT_DOUBLE_EQ(s.max(), 1000.0);
+    double p50 = s.percentile(50);
+    EXPECT_GE(p50, 1.0);
+    EXPECT_LE(p50, 1000.0);
+}
+
 } // namespace
 } // namespace dms

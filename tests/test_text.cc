@@ -4,9 +4,13 @@
  * semantic equivalence of parsed loops.
  */
 
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "sim/reference.h"
+#include "support/diag.h"
 #include "workload/synth.h"
 #include "workload/text.h"
 
@@ -52,6 +56,109 @@ TEST(Text, RoundTripSyntheticLoops)
             referenceExecute(back.ddg, 8));
         EXPECT_TRUE(problems.empty()) << k.name;
     }
+}
+
+/**
+ * The canonical form is load-bearing as the serve-cache key: one
+ * parse must be a fixed point, i.e. serializing the re-parsed loop
+ * reproduces the text byte for byte. Fuzz over the synthetic
+ * generator (several seeds) plus every named kernel.
+ */
+TEST(Text, FuzzCanonicalRoundTripIsFixedPoint)
+{
+    std::vector<Loop> loops;
+    for (std::uint64_t seed : {1ULL, 42ULL, 0xfeedULL}) {
+        for (Loop &l : synthesizeSuite(seed, 60))
+            loops.push_back(std::move(l));
+    }
+    for (Loop &k : namedKernels())
+        loops.push_back(std::move(k));
+
+    for (const Loop &l : loops) {
+        std::string t1 = loopToText(l);
+        Loop back = loopFromText(t1);
+        std::string t2 = loopToText(back);
+        ASSERT_EQ(t2, t1) << "canonicalization drift for '"
+                          << l.name << "'";
+    }
+}
+
+/**
+ * Dead ops leave id gaps in the graph; the canonical serialization
+ * renumbers densely so the text of a gappy graph equals the text
+ * of its re-parsed (dense) self.
+ */
+TEST(Text, DeadOpsSerializeDense)
+{
+    Loop l = kernelDotProduct();
+    // Graft a dead op into the middle: add and remove again.
+    OpId extra = l.ddg.addOp(Opcode::Add);
+    l.ddg.removeOp(extra);
+    std::string t1 = loopToText(l);
+    EXPECT_EQ(t1, loopToText(loopFromText(t1)));
+    // Dense ids: the serialized op count is the live count, and no
+    // id beyond it appears.
+    EXPECT_EQ(t1.find(strfmt("op %d", l.ddg.liveOpCount())),
+              std::string::npos);
+}
+
+/**
+ * offset= and lit= are signed in the format (negative stencil
+ * offsets, negative constants); the parser must accept what the
+ * serializer emits.
+ */
+TEST(Text, NegativeOffsetAndLiteralRoundTrip)
+{
+    Loop l;
+    l.name = "neg";
+    l.tripCount = 10;
+    OpId ld = l.ddg.addOp(Opcode::Load);
+    l.ddg.op(ld).memStream = 0;
+    l.ddg.op(ld).memOffset = -2;
+    OpId c = l.ddg.addOp(Opcode::Const);
+    l.ddg.op(c).literal = -7;
+    OpId add = l.ddg.addOp(Opcode::Add);
+    OpId st = l.ddg.addOp(Opcode::Store);
+    l.ddg.op(st).memStream = 1;
+    l.ddg.op(st).memOffset = -1;
+    l.ddg.addEdge(ld, add, DepKind::Flow, 0, 2, 0);
+    l.ddg.addEdge(c, add, DepKind::Flow, 0, 0, 1);
+    l.ddg.addEdge(add, st, DepKind::Flow, 0, 1, 0);
+
+    std::string t1 = loopToText(l);
+    EXPECT_NE(t1.find("offset=-2"), std::string::npos);
+    EXPECT_NE(t1.find("lit=-7"), std::string::npos);
+    Loop back = loopFromText(t1);
+    EXPECT_EQ(back.ddg.op(0).memOffset, -2);
+    EXPECT_EQ(back.ddg.op(1).literal, -7);
+    EXPECT_EQ(loopToText(back), t1);
+}
+
+TEST(Text, NonFatalParseReportsErrors)
+{
+    Loop out;
+    std::string error;
+    EXPECT_FALSE(loopFromText("op 0 frobnicate\n", out, error));
+    EXPECT_NE(error.find("unknown opcode"), std::string::npos);
+    EXPECT_NE(error.find("line 1"), std::string::npos);
+
+    error.clear();
+    EXPECT_TRUE(loopFromText(loopToText(kernelFir8()), out, error));
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(out.name, "fir8");
+}
+
+TEST(Text, LoadLoopSpecSharedLoader)
+{
+    Loop out;
+    std::string error;
+    EXPECT_TRUE(loadLoopSpec("kernel:daxpy", out, error));
+    EXPECT_EQ(out.name, "daxpy");
+    EXPECT_FALSE(loadLoopSpec("kernel:nosuch", out, error));
+    EXPECT_NE(error.find("unknown kernel"), std::string::npos);
+    EXPECT_FALSE(loadLoopSpec("/nonexistent/path.loop", out,
+                              error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
 }
 
 TEST(Text, ParsesCommentsAndBlanks)
