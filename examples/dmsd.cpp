@@ -145,11 +145,35 @@ runScript(CompileService &service, const std::string &path,
             if (!t.empty())
                 f.push_back(t);
         }
-        if (f[0] == "machine" && f.size() == 2) {
-            rc.machineText = readFile(f[1]);
-        } else if (f[0] == "sched" && f.size() == 2) {
+        // Dispatch on the directive name first so a wrong arity
+        // gets a precise message instead of the generic "unknown
+        // directive" the old arity-gated chain fell through to.
+        auto wantArgs = [&](size_t n, const char *usage) {
+            if (f.size() != n + 1)
+                fatal("%s line %d: '%s' takes %zu argument%s "
+                      "(usage: %s)",
+                      path.c_str(), line_no, f[0].c_str(), n,
+                      n == 1 ? "" : "s", usage);
+        };
+        if (f[0] == "machine") {
+            wantArgs(1, "machine FILE");
+            // Validate at directive time: a malformed description
+            // used to be accepted here and only surface later as
+            // per-request rejections (or not at all when no
+            // compile followed).
+            const std::string text = readFile(f[1]);
+            MachineModel parsed = MachineModel::unclustered(1);
+            std::string error;
+            if (!machineFromText(text, parsed, error))
+                fatal("%s line %d: bad machine '%s': %s",
+                      path.c_str(), line_no, f[1].c_str(),
+                      error.c_str());
+            rc.machineText = text;
+        } else if (f[0] == "sched") {
+            wantArgs(1, "sched NAME|auto");
             rc.scheduler = f[1] == "auto" ? "" : f[1];
-        } else if (f[0] == "compile" && f.size() == 2) {
+        } else if (f[0] == "compile") {
+            wantArgs(1, "compile <loop file | kernel:NAME>");
             Loop loop;
             std::string error;
             if (!loadLoopSpec(f[1], loop, error))
@@ -159,7 +183,8 @@ runScript(CompileService &service, const std::string &path,
             p.label = f[1];
             p.ticket = service.submit(rc.request(loopToText(loop)));
             pending.push_back(std::move(p));
-        } else if (f[0] == "repeat" && f.size() == 3) {
+        } else if (f[0] == "repeat") {
+            wantArgs(2, "repeat N <loop file | kernel:NAME>");
             int n = 0;
             if (!parseInt(f[1], n) || n <= 0)
                 fatal("%s line %d: bad repeat count '%s'",

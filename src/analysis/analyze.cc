@@ -1,0 +1,74 @@
+#include "analysis/analyze.h"
+
+#include "machine/desc.h"
+#include "workload/text.h"
+
+namespace dms {
+
+int
+runChecks(const AnalysisInput &input, const std::string &subject,
+          DiagnosticSink &sink)
+{
+    const int before = static_cast<int>(sink.diagnostics().size());
+    sink.setSubject(subject);
+    CheckRegistry::instance().runAll(input, sink);
+    return static_cast<int>(sink.diagnostics().size()) - before;
+}
+
+int
+lintMachineText(const std::string &text, const std::string &subject,
+                DiagnosticSink &sink)
+{
+    AnalysisInput input;
+    input.machineText = &text;
+    MachineModel machine = MachineModel::unclustered(1);
+    std::string error;
+    if (machineFromText(text, machine, error))
+        input.machine = &machine;
+    return runChecks(input, subject, sink);
+}
+
+int
+lintMachineTemplate(const std::string &tmpl,
+                    const std::string &subject, DiagnosticSink &sink)
+{
+    AnalysisInput input;
+    input.machineTemplate = &tmpl;
+    // Semantic machine checks run on a representative expansion;
+    // machine.template-expand covers the other cluster counts.
+    const std::string expanded = expandMachineTemplate(tmpl, 4);
+    MachineModel machine = MachineModel::unclustered(1);
+    std::string error;
+    if (machineFromText(expanded, machine, error)) {
+        input.machineText = &expanded;
+        input.machine = &machine;
+    }
+    return runChecks(input, subject, sink);
+}
+
+int
+lintLoopText(const std::string &text, const std::string &subject,
+             DiagnosticSink &sink, const MachineModel *machine)
+{
+    AnalysisInput input;
+    input.loopText = &text;
+    input.machine = machine;
+    Loop loop;
+    std::string error;
+    const LatencyModel lat =
+        machine != nullptr ? machine->latency() : LatencyModel();
+    if (loopFromText(text, loop, error, lat))
+        input.loop = &loop;
+    return runChecks(input, subject, sink);
+}
+
+int
+lintLoop(const Loop &loop, const std::string &subject,
+         DiagnosticSink &sink)
+{
+    AnalysisInput input;
+    input.loop = &loop;
+    return runChecks(input, subject, sink);
+}
+
+} // namespace dms

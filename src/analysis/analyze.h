@@ -1,0 +1,52 @@
+#ifndef DMS_ANALYSIS_ANALYZE_H
+#define DMS_ANALYSIS_ANALYZE_H
+
+/**
+ * @file
+ * Entry points of the static-analysis layer, shared by the dmslint
+ * CLI, the opt-in pipeline `analyze` stage (PipelineOptions::analyze
+ * / DMS_ANALYZE=1) and the tests. Each helper assembles an
+ * AnalysisInput for one artifact, stamps the sink's subject and
+ * runs every applicable registered check; the return value is the
+ * number of diagnostics the run added.
+ */
+
+#include <string>
+
+#include "analysis/check.h"
+
+namespace dms {
+
+/** Run all checks applicable to @p input under @p subject. */
+int runChecks(const AnalysisInput &input, const std::string &subject,
+              DiagnosticSink &sink);
+
+/** Lint one machine description text. */
+int lintMachineText(const std::string &text,
+                    const std::string &subject,
+                    DiagnosticSink &sink);
+
+/**
+ * Lint one `$C` machine sweep template: expansion across cluster
+ * counts plus the semantic machine checks on a representative
+ * expansion.
+ */
+int lintMachineTemplate(const std::string &tmpl,
+                        const std::string &subject,
+                        DiagnosticSink &sink);
+
+/**
+ * Lint one loop description text. Flow-edge latencies come from
+ * @p machine when given, else the default table.
+ */
+int lintLoopText(const std::string &text, const std::string &subject,
+                 DiagnosticSink &sink,
+                 const MachineModel *machine = nullptr);
+
+/** Lint an in-memory loop (built-in kernels have no text form). */
+int lintLoop(const Loop &loop, const std::string &subject,
+             DiagnosticSink &sink);
+
+} // namespace dms
+
+#endif // DMS_ANALYSIS_ANALYZE_H

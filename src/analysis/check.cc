@@ -1,0 +1,82 @@
+#include "analysis/check.h"
+
+#include <algorithm>
+
+namespace dms {
+
+ScheduleView
+viewOf(const PartialSchedule &ps)
+{
+    ScheduleView view;
+    view.ii = ps.ii();
+    const int ops = ps.ddg().numOps();
+    view.placements.resize(static_cast<size_t>(ops));
+    for (OpId op = 0; op < ops; ++op) {
+        if (ps.isScheduled(op))
+            view.placements[static_cast<size_t>(op)] =
+                ps.placement(op);
+    }
+    return view;
+}
+
+CheckRegistry &
+CheckRegistry::instance()
+{
+    static CheckRegistry registry;
+    return registry;
+}
+
+CheckRegistry::CheckRegistry()
+{
+    registerBuiltinChecks(*this);
+}
+
+bool
+CheckRegistry::add(std::unique_ptr<Check> check)
+{
+    if (find(check->id()) != nullptr)
+        return false;
+    checks_.push_back(std::move(check));
+    return true;
+}
+
+const Check *
+CheckRegistry::find(std::string_view id) const
+{
+    for (const std::unique_ptr<Check> &c : checks_) {
+        if (id == c->id())
+            return c.get();
+    }
+    return nullptr;
+}
+
+std::vector<const Check *>
+CheckRegistry::checks() const
+{
+    std::vector<const Check *> out;
+    out.reserve(checks_.size());
+    for (const std::unique_ptr<Check> &c : checks_)
+        out.push_back(c.get());
+    std::sort(out.begin(), out.end(),
+              [](const Check *a, const Check *b) {
+                  return std::string_view(a->id()) <
+                         std::string_view(b->id());
+              });
+    return out;
+}
+
+int
+CheckRegistry::runAll(const AnalysisInput &input,
+                      DiagnosticSink &sink) const
+{
+    int ran = 0;
+    for (const Check *c : checks()) {
+        if (!c->applicable(input))
+            continue;
+        c->run(input, sink);
+        ++ran;
+    }
+    return ran;
+}
+
+} // namespace dms

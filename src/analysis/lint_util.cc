@@ -1,0 +1,85 @@
+#include "analysis/lint_util.h"
+
+#include "support/strings.h"
+
+namespace dms {
+namespace lint {
+
+int
+splitErrorLine(const std::string &error, std::string &message)
+{
+    message = error;
+    if (error.rfind("line ", 0) != 0)
+        return 0;
+    const size_t colon = error.find(':');
+    if (colon == std::string::npos)
+        return 0;
+    int line = 0;
+    if (!parseInt(trim(error.substr(5, colon - 5)), line))
+        return 0;
+    message = trim(error.substr(colon + 1));
+    return line;
+}
+
+namespace {
+
+/** First whitespace-separated token of a line ("" when none). */
+std::string
+firstToken(const std::string &line)
+{
+    const std::string t = trim(line);
+    const size_t space = t.find_first_of(" \t");
+    return space == std::string::npos ? t : t.substr(0, space);
+}
+
+} // namespace
+
+int
+findKeyLine(const std::string &text, std::string_view key)
+{
+    int line_no = 0;
+    for (const std::string &line : split(text, '\n')) {
+        ++line_no;
+        if (firstToken(line) == key)
+            return line_no;
+    }
+    return 0;
+}
+
+int
+findEntryLine(const std::string &text, std::string_view key,
+              std::string_view entry_prefix)
+{
+    int line_no = 0;
+    for (const std::string &line : split(text, '\n')) {
+        ++line_no;
+        if (firstToken(line) != key)
+            continue;
+        for (const std::string &raw : split(trim(line), ' ')) {
+            const std::string tok = trim(raw);
+            if (tok.rfind(entry_prefix, 0) == 0)
+                return line_no;
+        }
+    }
+    return 0;
+}
+
+int
+findNthKeyLine(const std::string &text, std::string_view key,
+               int index)
+{
+    int line_no = 0;
+    int seen = 0;
+    for (const std::string &line : split(text, '\n')) {
+        ++line_no;
+        if (firstToken(line) != key)
+            continue;
+        if (seen == index)
+            return line_no;
+        ++seen;
+    }
+    return 0;
+}
+
+} // namespace lint
+} // namespace dms

@@ -1,0 +1,51 @@
+#ifndef DMS_ANALYSIS_LINT_UTIL_H
+#define DMS_ANALYSIS_LINT_UTIL_H
+
+/**
+ * @file
+ * Small shared helpers for the builtin checkers: locating keys in
+ * the line-oriented text formats and splitting the "line N: "
+ * prefix the parsers put on their errors. Internal to
+ * src/analysis/.
+ */
+
+#include <string>
+#include <string_view>
+
+namespace dms {
+namespace lint {
+
+/**
+ * Parse a leading "line N: " prefix out of a parser error.
+ * Returns N (and strips the prefix from @p message) or 0 when the
+ * error carries no line.
+ */
+int splitErrorLine(const std::string &error, std::string &message);
+
+/**
+ * 1-based number of the first non-comment line whose first token
+ * equals @p key; 0 when absent.
+ */
+int findKeyLine(const std::string &text, std::string_view key);
+
+/**
+ * 1-based number of the first line whose first token equals
+ * @p key and which contains a token starting with @p entry_prefix
+ * (e.g. key "latency", prefix "mul="); 0 when absent.
+ */
+int findEntryLine(const std::string &text, std::string_view key,
+                  std::string_view entry_prefix);
+
+/**
+ * 1-based line of the @p index-th (0-based) occurrence of a line
+ * whose first token equals @p key; 0 when there are fewer. The
+ * loop format assigns DDG op ids in file order, so the line of op
+ * k is the k-th "op" line.
+ */
+int findNthKeyLine(const std::string &text, std::string_view key,
+                   int index);
+
+} // namespace lint
+} // namespace dms
+
+#endif // DMS_ANALYSIS_LINT_UTIL_H

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 
+#include "analysis/analyze.h"
+#include "codegen/emit.h"
 #include "ir/unroll.h"
+#include "regalloc/sharing.h"
 #include "sched/mii.h"
 #include "sched/verifier.h"
 #include "support/diag.h"
+#include "support/strings.h"
 #include "workload/unroll_policy.h"
 
 namespace dms {
@@ -156,6 +160,47 @@ stagePerf(const PipelineOptions &, const Loop &,
     return true;
 }
 
+bool
+stageAnalyze(const PipelineOptions &, const Loop &loop,
+             const MachineModel &machine, CompilationContext &ctx)
+{
+    const Ddg &ddg = ctx.scheduledDdg();
+    const ScheduleView view = viewOf(*ctx.result.sched.schedule);
+
+    AnalysisInput input;
+    input.machine = &machine;
+    input.ddg = &ddg;
+    input.schedule = &view;
+    // The audit is observational: sharing and the emitted text are
+    // derived into locals here, never written back into the
+    // context, so analyzed runs stay bit-identical to plain ones.
+    SharedAllocation sharing;
+    std::string kernel_text;
+    if (ctx.queuesValid) {
+        input.queues = &ctx.queues;
+        sharing = shareQueues(ctx.queues, ddg,
+                              *ctx.result.sched.schedule);
+        input.sharing = &sharing;
+    }
+    if (ctx.kernelValid) {
+        input.kernel = &ctx.kernel;
+        kernel_text = emitKernel(ddg, machine, ctx.kernel,
+                                 ctx.queuesValid ? &ctx.queues
+                                                 : nullptr);
+        input.kernelText = &kernel_text;
+    }
+
+    DiagnosticSink sink;
+    runChecks(input, "analyze:" + loop.name, sink);
+    if (sink.empty())
+        return true;
+    // Like verify: a pipeline that produced a flagged artifact has
+    // a compiler bug, never a data condition.
+    panic("analyze stage found %zu diagnostic(s) for '%s':\n%s",
+          sink.diagnostics().size(), loop.name.c_str(),
+          sink.renderText().c_str());
+}
+
 } // namespace
 
 Pipeline::Pipeline(PipelineOptions options)
@@ -173,6 +218,8 @@ Pipeline::Pipeline(PipelineOptions options)
         stages_.push_back({"verify", stageVerify});
     if (opts_.perf)
         stages_.push_back({"perf", stagePerf});
+    if (opts_.analyze || envInt("DMS_ANALYZE", 0, 0) > 0)
+        stages_.push_back({"analyze", stageAnalyze});
 }
 
 std::vector<std::string>

@@ -64,6 +64,16 @@ struct PipelineOptions
 
     /** Static performance model (cycles, useful IPC). */
     bool perf = true;
+
+    /**
+     * Independent static-analysis audit of every artifact the run
+     * produced (schedule, queue allocation, kernel) through the
+     * analysis/ check registry; panics on any diagnostic, like
+     * verify. Also switched on by the environment knob
+     * DMS_ANALYZE=1. Purely observational: an analyzed run's
+     * artifacts are bit-identical to an unanalyzed one.
+     */
+    bool analyze = false;
 };
 
 /**

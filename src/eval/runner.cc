@@ -27,6 +27,7 @@ columnOptions(const std::string &scheduler,
     po.verify = opts.verify;
     po.regalloc = opts.regalloc;
     po.perf = true;
+    po.analyze = opts.analyze;
     return po;
 }
 

@@ -157,6 +157,14 @@ struct RunnerOptions
      */
     bool regalloc = true;
 
+    /**
+     * Audit every cell's artifacts with the static-analysis layer
+     * (PipelineOptions::analyze); panics on any diagnostic. The
+     * audit is observational, so analyzed sweeps stay bit-identical
+     * to plain ones. Also switched on by DMS_ANALYZE=1.
+     */
+    bool analyze = false;
+
     /** Progress lines on stderr. */
     bool progress = true;
 

@@ -92,6 +92,13 @@ struct ParseState
     bool sawFus = false;
 
     /**
+     * Opcodes already given a latency. Several `latency` lines are
+     * fine; the same opcode twice is a silent last-writer-wins
+     * hazard, so it is rejected.
+     */
+    std::array<bool, kNumOpcodes> sawLatency{};
+
+    /**
      * Lines the shape keys appeared on, so validation that spans
      * several lines (mesh dims vs cluster count, queue files vs
      * copy units) can still point at the offending line.
@@ -183,6 +190,7 @@ machineFromText(const std::string &text, MachineModel &out,
             st.sawFus = true;
             if (toks.size() < 2)
                 return fail("'fus' needs class=count entries");
+            std::array<bool, kNumFuClasses> seen{};
             for (size_t i = 1; i < toks.size(); ++i) {
                 std::string k, v;
                 FuClass cls;
@@ -194,6 +202,12 @@ machineFromText(const std::string &text, MachineModel &out,
                     return fail(strfmt("unknown FU class '%s' "
                                        "(ldst|add|mul|copy)",
                                        k.c_str()));
+                if (seen[static_cast<size_t>(cls)])
+                    return fail(strfmt("duplicate FU class '%s'; "
+                                       "an earlier entry already "
+                                       "set it",
+                                       k.c_str()));
+                seen[static_cast<size_t>(cls)] = true;
                 if (!parseInt(v, n) || n > 64)
                     return fail(strfmt("FU count '%s' out of range "
                                        "[0, 64]", v.c_str()));
@@ -212,6 +226,12 @@ machineFromText(const std::string &text, MachineModel &out,
                 if (!opcodeByName(k, opc))
                     return fail(strfmt("unknown opcode '%s'",
                                        k.c_str()));
+                if (st.sawLatency[static_cast<size_t>(opc)])
+                    return fail(strfmt("duplicate latency for "
+                                       "opcode '%s'; an earlier "
+                                       "entry already set it",
+                                       k.c_str()));
+                st.sawLatency[static_cast<size_t>(opc)] = true;
                 if (!parseInt(v, n))
                     return fail(strfmt("latency '%s' is not a "
                                        "non-negative integer",

@@ -115,7 +115,10 @@ class JobQueue
  * into the cache key. The MII hint fields (known*Mii) are excluded
  * on purpose: the pipeline overwrites them from its own MII stage,
  * so they cannot change the result. perf is forced on — LoopRun
- * needs it — and is therefore not part of the key either.
+ * needs it — and is therefore not part of the key either. The
+ * analyze switch is likewise excluded: the audit is observational
+ * (it panics rather than producing a different result), so analyzed
+ * and plain requests must share one cache entry.
  */
 std::string
 optionsKeyPart(const PipelineOptions &po)

@@ -257,7 +257,19 @@ loopFromText(const std::string &text, Loop &out, std::string &error,
                 int slot = 0;
                 if (!attrInt(a, "slot", 0, line_no, slot, ps))
                     break;
+                if (slot != 0 && slot != 1) {
+                    ps.fail("line %d: flow slot must be 0 or 1 "
+                            "(got %d)",
+                            line_no, slot);
+                    break;
+                }
                 OpId s = ids[src];
+                if (!producesValue(out.ddg.op(s).opc)) {
+                    ps.fail("line %d: flow edge from op %d, "
+                            "which produces no value",
+                            line_no, src);
+                    break;
+                }
                 out.ddg.addEdge(s, ids[dst], kind, dist,
                                 lat.of(out.ddg.op(s).opc), slot);
             } else {

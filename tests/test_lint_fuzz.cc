@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Deterministic corruption fuzzing of the textual front doors. The
+ * contract under test: a machine description or loop body with
+ * arbitrary bytes flipped, inserted, deleted or truncated either
+ * still parses or produces a *located* diagnostic through the lint
+ * entry points — it never crashes, hangs, or reports a line number
+ * outside the text. A fixed xorshift stream keeps every run
+ * identical, so a failure is a plain regression, not a flake.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/analyze.h"
+#include "machine/desc.h"
+#include "workload/kernels.h"
+#include "workload/text.h"
+
+namespace dms {
+namespace {
+
+/** xorshift64*: tiny, seedable, platform-stable. */
+struct FuzzRng
+{
+    std::uint64_t state;
+
+    explicit FuzzRng(std::uint64_t seed) : state(seed | 1) {}
+
+    std::uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545F4914F6CDD1DULL;
+    }
+
+    /** Uniform-ish in [0, n). */
+    std::size_t
+    below(std::size_t n)
+    {
+        return static_cast<std::size_t>(next() % n);
+    }
+};
+
+/** Bytes the corruptor may write: printable, separators, controls. */
+char
+fuzzByte(FuzzRng &rng)
+{
+    static const char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789 =#\t\n\r-$";
+    return kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+}
+
+/** Flip / insert / delete 1-4 bytes, or truncate. */
+std::string
+corrupt(const std::string &text, FuzzRng &rng)
+{
+    std::string out = text;
+    const int edits = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < edits && !out.empty(); ++i) {
+        const std::size_t pos = rng.below(out.size());
+        switch (rng.below(4)) {
+        case 0:
+            out[pos] = fuzzByte(rng);
+            break;
+        case 1:
+            out.insert(pos, 1, fuzzByte(rng));
+            break;
+        case 2:
+            out.erase(pos, 1);
+            break;
+        default:
+            out.resize(pos);
+            break;
+        }
+    }
+    return out;
+}
+
+int
+lineCount(const std::string &text)
+{
+    int lines = 1;
+    for (char c : text) {
+        if (c == '\n')
+            ++lines;
+    }
+    return lines;
+}
+
+/** Every diagnostic's line must point inside the corrupted text. */
+void
+expectLocated(const DiagnosticSink &sink, const std::string &text,
+              std::uint64_t seed)
+{
+    for (const Diagnostic &d : sink.diagnostics()) {
+        EXPECT_GE(d.loc.line, 0) << "seed " << seed;
+        EXPECT_LE(d.loc.line, lineCount(text))
+            << "seed " << seed << ": " << d.render();
+    }
+}
+
+TEST(LintFuzz, CorruptedMachineTextParsesOrDiagnoses)
+{
+    const std::string seedText =
+        machineToText(MachineModel::clusteredRing(4));
+    for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+        FuzzRng rng(seed * 0x9E3779B97F4A7C15ULL);
+        const std::string text = corrupt(seedText, rng);
+        MachineModel parsed = MachineModel::unclustered(1);
+        std::string error;
+        const bool ok = machineFromText(text, parsed, error);
+
+        DiagnosticSink sink;
+        lintMachineText(text, "fuzz.machine", sink);
+        if (!ok) {
+            // A reject must surface as a parse diagnostic; lint
+            // and the parser must agree on rejection.
+            EXPECT_TRUE(!sink.empty()) << "seed " << seed;
+        }
+        expectLocated(sink, text, seed);
+    }
+}
+
+TEST(LintFuzz, CorruptedLoopTextParsesOrDiagnoses)
+{
+    const std::string seedText = loopToText(kernelDaxpy());
+    for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+        FuzzRng rng(seed * 0xBF58476D1CE4E5B9ULL);
+        const std::string text = corrupt(seedText, rng);
+        Loop loop;
+        std::string error;
+        const bool ok = loopFromText(text, loop, error);
+
+        DiagnosticSink sink;
+        lintLoopText(text, "fuzz.loop", sink);
+        if (!ok) {
+            EXPECT_TRUE(!sink.empty()) << "seed " << seed;
+        }
+        expectLocated(sink, text, seed);
+    }
+}
+
+TEST(LintFuzz, CorruptedTemplateExpandsOrDiagnoses)
+{
+    const std::string seedText =
+        "machine sweep\n"
+        "clusters $C\n"
+        "topology ring\n"
+        "regfile queues\n"
+        "fus ldst=1 add=1 mul=1 copy=1\n";
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        FuzzRng rng(seed * 0x94D049BB133111EBULL);
+        const std::string text = corrupt(seedText, rng);
+        DiagnosticSink sink;
+        lintMachineTemplate(text, "fuzz.mtmpl", sink);
+        expectLocated(sink, text, seed);
+    }
+}
+
+} // namespace
+} // namespace dms

@@ -180,6 +180,39 @@ TEST(MachineDesc, RejectsMalformedInput)
               std::string::npos);
 }
 
+TEST(MachineDesc, RejectsSilentLastWriterWins)
+{
+    // A repeated fus class or latency opcode used to be accepted
+    // with the later entry silently overwriting the earlier one —
+    // exactly the kind of typo ("fus ldst=1 ldst=2" for "add=2")
+    // that then schedules on a machine the author never described.
+    std::string err = parseError("fus ldst=1 ldst=2\n");
+    EXPECT_NE(err.find("duplicate FU class 'ldst'"),
+              std::string::npos)
+        << err;
+    EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+
+    err = parseError("latency mul=3 mul=4\n");
+    EXPECT_NE(err.find("duplicate latency for opcode 'mul'"),
+              std::string::npos)
+        << err;
+
+    // Also across separate latency lines.
+    err = parseError("latency mul=3\nlatency mul=4\n");
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+    EXPECT_NE(err.find("duplicate latency"), std::string::npos)
+        << err;
+
+    // Distinct opcodes and classes on several lines stay legal.
+    MachineModel m = parseOk("clusters 1\n"
+                             "fus ldst=2 add=3\n"
+                             "latency mul=3\n"
+                             "latency add=2\n");
+    EXPECT_EQ(m.fusPerCluster(FuClass::LdSt), 2);
+    EXPECT_EQ(m.latencyOf(Opcode::Mul), 3);
+    EXPECT_EQ(m.latencyOf(Opcode::Add), 2);
+}
+
 TEST(MachineDesc, QueueFileMeshAndCrossbarAreHonoured)
 {
     // `regfile queues` used to parse on a mesh and then be
