@@ -30,6 +30,7 @@
 #include "serve/loadgen.h"
 #include "serve/service.h"
 #include "support/diag.h"
+#include "support/faultinject.h"
 #include "support/strings.h"
 #include "workload/suite.h"
 #include "workload/text.h"
@@ -135,6 +136,60 @@ main()
                 static_cast<unsigned long long>(mixed_coalesced),
                 mixed_run.p50Ms, mixed_run.p99Ms);
 
+    // --- degraded: the chaos regime, measured not feared --------
+    // A fresh service with a deliberately small queue, faults
+    // armed at the serve and pipeline sites, clients running the
+    // full retry/shed/deadline loop — the b_eff philosophy:
+    // overloaded operation is a measured regime, not an error.
+    double degraded_rps = 0;
+    double shed_rate = 0;
+    std::uint64_t injected = 0;
+    HammerResult degraded;
+    ServeStats degraded_stats;
+    {
+        ServeOptions dopts;
+        dopts.queueDepth = 8;
+        CompileService dservice(dopts);
+        FaultPlan plan;
+        std::string perr;
+        bool plan_ok = plan.parse(
+            "serve.worker.compile:0.15:1337,pipeline.*:0.05:42",
+            perr);
+        DMS_ASSERT(plan_ok, "bad bench fault plan: %s",
+                   perr.c_str());
+        RetryPolicy rp;
+        rp.maxAttempts = 3;
+        rp.backoffBaseMs = 1;
+        rp.backoffMaxMs = 8;
+        rp.submitWaitMs = 1;
+        armFaults(std::move(plan));
+        degraded = hammerService(
+            dservice, mixed_requests, clients, machine_text,
+            "dms", kSeed + 3,
+            [&](int i, Rng &rng) -> std::string {
+                if (rng.range(1, 100) <= 75)
+                    return hot_texts[zipf.pick(rng)];
+                return coldLoopText(kSeed ^ 0xfa017ULL, i);
+            },
+            rp);
+        injected = faultsInjected();
+        disarmFaults();
+        degraded_stats = dservice.stats();
+        degraded_rps = degraded.rps();
+        shed_rate = degraded_stats.requests > 0
+                        ? static_cast<double>(degraded_stats.shed) /
+                              static_cast<double>(
+                                  degraded_stats.requests)
+                        : 0.0;
+        std::printf(
+            "degraded: %d requests in %.3f s = %.0f req/s, "
+            "%llu injected, shed rate %.1f%%, %d retries, "
+            "p99 %.3f ms\n",
+            degraded.requests, degraded.seconds, degraded_rps,
+            static_cast<unsigned long long>(injected),
+            shed_rate * 100.0, degraded.retries, degraded.p99Ms);
+    }
+
     std::string json = "{";
     json += "\"bench\":\"serve_throughput\",";
     json += strfmt("\"clients\":%d,", clients);
@@ -151,6 +206,19 @@ main()
         mixed_run.requests, mixed_rps, mixed_hit_rate,
         static_cast<unsigned long long>(mixed_coalesced),
         mixed_run.p50Ms, mixed_run.p90Ms, mixed_run.p99Ms);
+    json += strfmt(
+        "\"degraded\":{\"requests\":%d,\"rps\":%.1f,"
+        "\"p50_ms\":%.4f,\"p99_ms\":%.4f,\"shed_rate\":%.4f,"
+        "\"injected\":%llu,\"failed\":%llu,\"expired\":%llu,"
+        "\"quarantined\":%llu,\"retries\":%d},",
+        degraded.requests, degraded_rps, degraded.p50Ms,
+        degraded.p99Ms, shed_rate,
+        static_cast<unsigned long long>(injected),
+        static_cast<unsigned long long>(degraded_stats.failed),
+        static_cast<unsigned long long>(degraded_stats.expired),
+        static_cast<unsigned long long>(
+            degraded_stats.quarantined),
+        degraded.retries);
     json += strfmt("\"warm_vs_cold\":%.1f}",
                    warm_rps / cold_rps);
 

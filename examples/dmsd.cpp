@@ -21,6 +21,25 @@
  *   --hot P        load-gen: percent of requests drawn from the
  *                  zipf-skewed hot kernel set (default 75)
  *   --seed S       load-gen request-mix seed (default 42)
+ *   --retries N        load-gen: attempts per request (default 1 =
+ *                      no retry; Rejected/Failed are retried with
+ *                      exponential backoff + deterministic jitter)
+ *   --backoff-ms N     load-gen: base retry backoff (default 2)
+ *   --deadline-ms N    load-gen: per-request deadline (default 0 =
+ *                      none; expiry is a structured Expired result)
+ *   --submit-wait-ms N load-gen: shed wait — submit through the
+ *                      non-blocking trySubmit path, rejecting when
+ *                      the queue stays full this long (default:
+ *                      blocking submit)
+ *   --stats-out FILE   load-gen: write the final ServeStats
+ *                      snapshot in the `servestats v1` text form
+ *                      (lintable with dmslint)
+ *
+ * With DMS_FAULTS armed (see support/faultinject.h) dmsd prints
+ * the per-site injection counters and treats fault-driven
+ * failures as expected chaos: the exit code then only reflects
+ * invalid requests and process health, so CI can grep "injected"
+ * and assert the daemon survived.
  *
  * Script format, one directive per line ('#' comments):
  *   machine FILE   switch the current machine description
@@ -44,6 +63,7 @@
 #include "serve/loadgen.h"
 #include "serve/service.h"
 #include "support/diag.h"
+#include "support/faultinject.h"
 #include "support/strings.h"
 #include "workload/text.h"
 
@@ -74,6 +94,14 @@ sourceName(CompileService::Source s)
         return "hit";
     case CompileService::Source::Invalid:
         return "invalid";
+    case CompileService::Source::Rejected:
+        return "rejected";
+    case CompileService::Source::Quarantined:
+        return "quarantined";
+    case CompileService::Source::Failed:
+        return "failed";
+    case CompileService::Source::Expired:
+        return "expired";
     }
     return "?";
 }
@@ -90,11 +118,37 @@ printStats(const CompileService &service)
                 static_cast<unsigned long long>(s.misses),
                 static_cast<unsigned long long>(s.invalid),
                 s.hitRate() * 100.0);
-    std::printf("cache: %llu entries resident, %llu evicted; "
-                "queue peak depth %d\n",
+    std::printf("cache: %llu entries resident, %llu evicted, "
+                "%llu retired; queue peak depth %d/%d\n",
                 static_cast<unsigned long long>(s.cached),
                 static_cast<unsigned long long>(s.evictions),
-                s.peakQueueDepth);
+                static_cast<unsigned long long>(s.retired),
+                s.peakQueueDepth, s.queueCapacity);
+    if (s.failed + s.expired + s.rejected > 0 || s.degraded) {
+        std::printf(
+            "faults: %llu failed, %llu expired, %llu shed, "
+            "%llu quarantined%s\n",
+            static_cast<unsigned long long>(s.failed),
+            static_cast<unsigned long long>(s.expired),
+            static_cast<unsigned long long>(s.shed),
+            static_cast<unsigned long long>(s.quarantined),
+            s.degraded ? " [degraded]" : "");
+    }
+    if (faultsArmed()) {
+        std::printf("injected: %llu faults across %zu sites\n",
+                    static_cast<unsigned long long>(
+                        faultsInjected()),
+                    faultStats().size());
+        for (const FaultSiteStats &site : faultStats()) {
+            if (site.fired > 0)
+                std::printf("  %s: %llu/%llu\n",
+                            site.site.c_str(),
+                            static_cast<unsigned long long>(
+                                site.fired),
+                            static_cast<unsigned long long>(
+                                site.hits));
+        }
+    }
     if (s.latencySamples > 0) {
         std::printf("latency: p50 %.3f ms, p90 %.3f ms, p99 %.3f "
                     "ms, max %.3f ms, mean %.3f ms (%llu samples)\n",
@@ -233,7 +287,9 @@ runScript(CompileService &service, const std::string &path,
 int
 runLoadGenerator(CompileService &service, int total, int clients,
                  int hot_percent, std::uint64_t seed,
-                 const RequestContext &rc)
+                 const RequestContext &rc,
+                 const RetryPolicy &policy,
+                 const std::string &stats_out)
 {
     // Hot set: the named kernels, zipf-weighted so a few kernels
     // dominate — the "hot kernels repeat" half of the mix. Cold
@@ -243,16 +299,43 @@ runLoadGenerator(CompileService &service, int total, int clients,
     ZipfPicker zipf(hot.size());
     HammerResult res = hammerService(
         service, total, clients, rc.machineText, rc.scheduler,
-        seed, [&](int i, Rng &rng) -> std::string {
+        seed,
+        [&](int i, Rng &rng) -> std::string {
             if (rng.range(1, 100) <= hot_percent)
                 return hot[zipf.pick(rng)];
             return coldLoopText(seed, i);
-        });
+        },
+        policy);
 
     std::printf("load: %d requests from %d clients (%d%% hot mix)"
-                ", %d failures\n",
-                res.requests, clients, hot_percent, res.failures);
+                ", %d failures, %d retries\n",
+                res.requests, clients, hot_percent, res.failures,
+                res.retries);
+    std::printf("status: %d ok, %d unschedulable, %d invalid, "
+                "%d failed, %d expired, %d rejected, "
+                "%d quarantined\n",
+                res.count(CompileStatus::Ok),
+                res.count(CompileStatus::Unschedulable),
+                res.count(CompileStatus::Invalid),
+                res.count(CompileStatus::Failed),
+                res.count(CompileStatus::Expired),
+                res.count(CompileStatus::Rejected),
+                res.count(CompileStatus::Quarantined));
     printStats(service);
+    if (!stats_out.empty()) {
+        std::FILE *f = std::fopen(stats_out.c_str(), "w");
+        if (f == nullptr)
+            fatal("cannot write '%s'", stats_out.c_str());
+        const std::string text = serveStatsToText(service.stats());
+        std::fputs(text.c_str(), f);
+        std::fclose(f);
+    }
+    // Under an armed fault plan, fault-driven failures are the
+    // point of the run: the daemon surviving them *is* the pass.
+    // Invalid requests still fail the run — the mix generator
+    // only emits well-formed requests, so any Invalid is a bug.
+    if (faultsArmed())
+        return res.count(CompileStatus::Invalid) == 0 ? 0 : 1;
     return res.failures == 0 ? 0 : 1;
 }
 
@@ -270,6 +353,8 @@ main(int argc, char **argv)
     int workers = 0;
     int hot_percent = 75;
     int seed = 42;
+    RetryPolicy policy;
+    std::string stats_out;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -302,6 +387,16 @@ main(int argc, char **argv)
             hot_percent = nextInt();
         else if (a == "--seed")
             seed = nextInt();
+        else if (a == "--retries")
+            policy.maxAttempts = std::max(nextInt(), 1);
+        else if (a == "--backoff-ms")
+            policy.backoffBaseMs = nextInt();
+        else if (a == "--deadline-ms")
+            policy.deadlineMs = nextInt();
+        else if (a == "--submit-wait-ms")
+            policy.submitWaitMs = nextInt();
+        else if (a == "--stats-out")
+            stats_out = next();
         else
             fatal("unknown option '%s'", a.c_str());
     }
@@ -331,5 +426,6 @@ main(int argc, char **argv)
 
     return runLoadGenerator(service, load, std::max(clients, 1),
                             std::clamp(hot_percent, 0, 100),
-                            static_cast<std::uint64_t>(seed), rc);
+                            static_cast<std::uint64_t>(seed), rc,
+                            policy, stats_out);
 }

@@ -9,8 +9,9 @@
  *
  * Targets:
  *   FILE           auto-detected: a machine description, a `$C`
- *                  machine sweep template, or a loop body in the
- *                  workload/text format
+ *                  machine sweep template, a loop body in the
+ *                  workload/text format, or a `servestats v1`
+ *                  counter snapshot (dmsd --stats-out)
  *   kernel:NAME    a built-in kernel ("kernel:fir8")
  *   kernel:*       every built-in kernel
  *
@@ -60,15 +61,16 @@ readFile(const std::string &path)
 }
 
 /** What a target file contains, judged from its text alone. */
-enum class TargetKind { Machine, Template, LoopText };
+enum class TargetKind { Machine, Template, LoopText, ServeStats };
 
 TargetKind
 detectKind(const std::string &text)
 {
     if (text.find("$C") != std::string::npos)
         return TargetKind::Template;
-    // A machine description opens with one of its keys; anything
-    // else is treated as loop text (whose own first key is "loop").
+    // A machine description opens with one of its keys, a stats
+    // snapshot with its versioned header; anything else is treated
+    // as loop text (whose own first key is "loop").
     for (const std::string &raw : split(text, '\n')) {
         const std::string line = trim(raw);
         if (line.empty() || line[0] == '#')
@@ -79,6 +81,8 @@ detectKind(const std::string &text)
             key == "topology" || key == "regfile" || key == "fus" ||
             key == "latency")
             return TargetKind::Machine;
+        if (key == "servestats")
+            return TargetKind::ServeStats;
         break;
     }
     return TargetKind::LoopText;
@@ -221,6 +225,9 @@ main(int argc, char **argv)
             }
             break;
         }
+        case TargetKind::ServeStats:
+            lintServeStatsText(text, target, sink);
+            break;
         }
     }
 

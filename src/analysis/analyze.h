@@ -47,6 +47,15 @@ int lintLoopText(const std::string &text, const std::string &subject,
 int lintLoop(const Loop &loop, const std::string &subject,
              DiagnosticSink &sink);
 
+/**
+ * Lint one `servestats v1` counter snapshot (the text form
+ * serveStatsToText emits). Parse failures are reported through the
+ * sink like any other finding.
+ */
+int lintServeStatsText(const std::string &text,
+                       const std::string &subject,
+                       DiagnosticSink &sink);
+
 } // namespace dms
 
 #endif // DMS_ANALYSIS_ANALYZE_H

@@ -10,6 +10,7 @@ registerBuiltinChecks(CheckRegistry &registry)
     lint::registerScheduleChecks(registry);
     lint::registerQueueChecks(registry);
     lint::registerKernelChecks(registry);
+    lint::registerServeChecks(registry);
 }
 
 } // namespace dms

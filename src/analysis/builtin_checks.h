@@ -41,6 +41,7 @@ void registerLoopChecks(CheckRegistry &registry);
 void registerScheduleChecks(CheckRegistry &registry);
 void registerQueueChecks(CheckRegistry &registry);
 void registerKernelChecks(CheckRegistry &registry);
+void registerServeChecks(CheckRegistry &registry);
 
 } // namespace lint
 } // namespace dms

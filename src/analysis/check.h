@@ -35,6 +35,8 @@
 
 namespace dms {
 
+struct ServeStats; // serve/service.h; only audited via pointer here
+
 /**
  * Flat, freely mutable view of a (complete or partial) modulo
  * schedule: one Placement per DDG op id. The audit checks consume
@@ -81,6 +83,7 @@ struct AnalysisInput
     const std::string *machineTemplate = nullptr;
     const std::string *loopText = nullptr;
     const std::string *kernelText = nullptr;
+    const std::string *serveStatsText = nullptr;
     /// @}
 
     /** @name Parsed / compiled artifacts */
@@ -92,6 +95,7 @@ struct AnalysisInput
     const QueueAllocation *queues = nullptr;
     const SharedAllocation *sharing = nullptr;
     const PipelinedLoop *kernel = nullptr;
+    const ServeStats *serveStats = nullptr; ///< counter snapshot
     /// @}
 
     /** Latency model for parsing loop text (machine's if present). */
@@ -155,7 +159,8 @@ class CheckRegistry
     std::vector<std::unique_ptr<Check>> checks_;
 };
 
-/** Registers the builtin machine/loop/schedule/queue/kernel checks. */
+/** Registers the builtin machine/loop/schedule/queue/kernel/serve
+ * checks. */
 void registerBuiltinChecks(CheckRegistry &registry);
 
 } // namespace dms

@@ -36,6 +36,8 @@ artifactKindName(ArtifactKind kind)
         return "queue-alloc";
     case ArtifactKind::Kernel:
         return "kernel";
+    case ArtifactKind::ServeStats:
+        return "servestats";
     }
     return "?";
 }

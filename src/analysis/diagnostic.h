@@ -42,6 +42,7 @@ enum class ArtifactKind : std::uint8_t {
     Schedule,         ///< modulo-schedule placements
     QueueAlloc,       ///< queue register allocation
     Kernel,           ///< pipelined kernel / emitted code
+    ServeStats,       ///< serve/service.h counter snapshot
 };
 
 /** Lower-case artifact mnemonic, e.g. "schedule". */

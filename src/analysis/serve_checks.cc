@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Lint of ServeStats snapshots (the `servestats v1` text form that
+ * serveStatsToText emits and dmsd prints). The consistency check
+ * re-derives the service's counter identities from first principles
+ * — which submit outcomes exist, which worker outcomes can make up
+ * the difference — so a bookkeeping bug in CompileService cannot
+ * certify its own stats. Locations carry the 1-based line of the
+ * offending counter's `key value` line when the text is available.
+ */
+
+#include "analysis/builtin_checks.h"
+#include "analysis/lint_util.h"
+#include "serve/service.h"
+#include "support/diag.h"
+
+namespace dms {
+namespace lint {
+
+namespace {
+
+/** Line of @p key's "key value" entry in the text, 0 when unknown. */
+int
+keyLine(const AnalysisInput &input, const char *key)
+{
+    if (input.serveStatsText == nullptr)
+        return 0;
+    return findNthKeyLine(*input.serveStatsText, key, 0);
+}
+
+class StatsConsistencyCheck final : public BuiltinCheck
+{
+  public:
+    StatsConsistencyCheck()
+        : BuiltinCheck("serve.stats-consistency",
+                       "ServeStats counters satisfy the service's "
+                       "accounting identities",
+                       ArtifactKind::ServeStats)
+    {
+    }
+
+    bool
+    applicable(const AnalysisInput &input) const override
+    {
+        return input.serveStats != nullptr ||
+               input.serveStatsText != nullptr;
+    }
+
+    void
+    run(const AnalysisInput &input, DiagnosticSink &sink) const
+        override
+    {
+        ServeStats parsed;
+        const ServeStats *stats = input.serveStats;
+        if (stats == nullptr) {
+            std::string error;
+            if (!serveStatsFromText(*input.serveStatsText, parsed,
+                                    error)) {
+                DiagLocation loc;
+                std::string message;
+                loc.line = splitErrorLine(error, message);
+                sink.report(id(), Severity::Error, artifact(), loc,
+                            message);
+                return;
+            }
+            stats = &parsed;
+        }
+        const ServeStats &s = *stats;
+        auto flag = [&](const char *key, std::string message) {
+            DiagLocation loc;
+            loc.line = keyLine(input, key);
+            sink.report(id(), Severity::Error, artifact(), loc,
+                        std::move(message));
+        };
+
+        // Every submit reaches at most one exclusive outcome: hit,
+        // coalesced, miss (queued — or shed after counting as a
+        // miss), invalid or quarantined. A submit-path fault can
+        // bypass them all and surface as a Failed/Expired
+        // resolution instead, so the outcomes may undershoot
+        // requests — but never by more than failed + expired, and
+        // never overshoot.
+        const std::uint64_t outcomes = s.hits + s.coalesced +
+                                       s.misses + s.invalid +
+                                       s.quarantined;
+        if (outcomes > s.requests)
+            flag("requests",
+                 strfmt("submit outcomes sum to %llu but only %llu "
+                        "requests were made",
+                        static_cast<unsigned long long>(outcomes),
+                        static_cast<unsigned long long>(
+                            s.requests)));
+        else if (s.requests - outcomes > s.failed + s.expired)
+            flag("requests",
+                 strfmt("%llu requests have no recorded outcome "
+                        "(outcomes %llu + failed %llu + expired "
+                        "%llu cannot cover them)",
+                        static_cast<unsigned long long>(
+                            s.requests - outcomes),
+                        static_cast<unsigned long long>(outcomes),
+                        static_cast<unsigned long long>(s.failed),
+                        static_cast<unsigned long long>(
+                            s.expired)));
+
+        // Shedding happens after the miss was counted: every shed
+        // request is a subset of the misses.
+        if (s.shed > s.misses)
+            flag("shed",
+                 strfmt("shed %llu exceeds misses %llu, but a "
+                        "request is only shed after counting as a "
+                        "miss",
+                        static_cast<unsigned long long>(s.shed),
+                        static_cast<unsigned long long>(s.misses)));
+
+        // `rejected` is a derived counter, not its own tally.
+        if (s.rejected != s.shed + s.quarantined)
+            flag("rejected",
+                 strfmt("rejected %llu != shed %llu + quarantined "
+                        "%llu",
+                        static_cast<unsigned long long>(s.rejected),
+                        static_cast<unsigned long long>(s.shed),
+                        static_cast<unsigned long long>(
+                            s.quarantined)));
+
+        // The queue never holds more than its configured bound.
+        if (s.queueCapacity > 0 &&
+            s.peakQueueDepth > s.queueCapacity)
+            flag("peak_queue_depth",
+                 strfmt("peak queue depth %d exceeds the configured "
+                        "capacity %d",
+                        s.peakQueueDepth, s.queueCapacity));
+        if (s.queueDepth > s.peakQueueDepth)
+            flag("queue_depth",
+                 strfmt("current queue depth %d exceeds the "
+                        "recorded peak %d",
+                        s.queueDepth, s.peakQueueDepth));
+
+        // Latency percentiles of one sample set are monotone.
+        if (s.latencySamples > 0 &&
+            (s.p50Ms > s.p90Ms || s.p90Ms > s.p99Ms ||
+             s.p99Ms > s.maxMs))
+            flag("requests",
+                 strfmt("latency percentiles are not monotone "
+                        "(p50 %.3f, p90 %.3f, p99 %.3f, max %.3f)",
+                        s.p50Ms, s.p90Ms, s.p99Ms, s.maxMs));
+    }
+};
+
+} // namespace
+
+void
+registerServeChecks(CheckRegistry &registry)
+{
+    registry.add(std::make_unique<StatsConsistencyCheck>());
+}
+
+} // namespace lint
+} // namespace dms

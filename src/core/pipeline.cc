@@ -206,20 +206,24 @@ stageAnalyze(const PipelineOptions &, const Loop &loop,
 Pipeline::Pipeline(PipelineOptions options)
     : opts_(std::move(options))
 {
-    stages_.push_back({"unroll", stageUnroll});
-    stages_.push_back({"prepass", stagePrepass});
-    stages_.push_back({"mii", stageMii});
-    stages_.push_back({"schedule", stageSchedule});
+    const auto add = [this](const char *name, auto fn) {
+        stages_.push_back(
+            {name, std::string("pipeline.") + name, fn});
+    };
+    add("unroll", stageUnroll);
+    add("prepass", stagePrepass);
+    add("mii", stageMii);
+    add("schedule", stageSchedule);
     if (opts_.regalloc)
-        stages_.push_back({"regalloc", stageRegalloc});
+        add("regalloc", stageRegalloc);
     if (opts_.codegen)
-        stages_.push_back({"codegen", stageCodegen});
+        add("codegen", stageCodegen);
     if (opts_.verify)
-        stages_.push_back({"verify", stageVerify});
+        add("verify", stageVerify);
     if (opts_.perf)
-        stages_.push_back({"perf", stagePerf});
+        add("perf", stagePerf);
     if (opts_.analyze || envInt("DMS_ANALYZE", 0, 0) > 0)
-        stages_.push_back({"analyze", stageAnalyze});
+        add("analyze", stageAnalyze);
 }
 
 std::vector<std::string>
@@ -240,6 +244,15 @@ Pipeline::run(const Loop &loop, const MachineModel &machine,
     ctx.kernelValid = false;
     ctx.perfValid = false;
     for (const Stage &stage : stages_) {
+        // Stage boundary: honor the request's cancellation token
+        // (deadline expiry stops burning the worker here) and give
+        // an armed fault plan its shot at this stage.
+        if (ctx.cancel != nullptr && ctx.cancel->cancelled())
+            throw CancelledError(
+                strfmt("compilation of '%s' cancelled before "
+                       "stage '%s'",
+                       loop.name.c_str(), stage.name));
+        faultPoint(stage.faultSite.c_str());
         if (!stage.fn(opts_, loop, machine, ctx))
             return false;
     }

@@ -34,6 +34,7 @@
 #include "ir/prepass.h"
 #include "regalloc/queue_alloc.h"
 #include "sched/scheduler.h"
+#include "support/faultinject.h"
 #include "workload/kernels.h"
 
 namespace dms {
@@ -102,6 +103,15 @@ class CompilationContext
     /// @}
 
     /**
+     * Optional cooperative cancellation, polled between stages: a
+     * run whose token reports cancelled (deadline expiry or an
+     * explicit cancel) throws CancelledError instead of entering
+     * the next stage, so an expired request stops burning a worker.
+     * Null (the default) is the zero-cost common case.
+     */
+    const CancelToken *cancel = nullptr;
+
+    /**
      * The graph the schedule refers to: the scheduler's transformed
      * graph when it produced one, the pre-passed body otherwise.
      */
@@ -145,6 +155,7 @@ class Pipeline
     struct Stage
     {
         const char *name;
+        std::string faultSite; ///< "pipeline.<name>"
         std::function<bool(const PipelineOptions &, const Loop &,
                            const MachineModel &,
                            CompilationContext &)>

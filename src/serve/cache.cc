@@ -24,9 +24,26 @@ ResultCache::ResultCache(int shards, int capacity)
     perShardCap_ = std::max(1, (std::max(capacity, 1) + n - 1) / n);
 }
 
+/** Erase @p key from both the map and the FIFO order deque. */
+void
+ResultCache::eraseLocked(Shard &shard, const std::string &key)
+{
+    auto eit = shard.entries.find(key);
+    DMS_ASSERT(eit != shard.entries.end(),
+               "cache erase of absent key");
+    shard.entries.erase(eit);
+    auto oit =
+        std::find(shard.order.begin(), shard.order.end(), key);
+    DMS_ASSERT(oit != shard.order.end(),
+               "cache map entry without order entry");
+    shard.order.erase(oit);
+}
+
 /**
- * Over capacity: drop the oldest *ready* entry. In-flight entries
- * are pinned — evicting one would let a duplicate request start a
+ * Over capacity: drop the oldest droppable entry — failed entries
+ * (dead aliases of retired compiles, counted under retired()) or
+ * ready ones (a real capacity eviction). In-flight entries are
+ * pinned — evicting one would let a duplicate request start a
  * second compilation of the same key. Caller holds the shard lock.
  */
 void
@@ -39,6 +56,12 @@ ResultCache::evictIfFull(Shard &shard)
         auto eit = shard.entries.find(*oit);
         DMS_ASSERT(eit != shard.entries.end(),
                    "cache order entry without map entry");
+        if (eit->second->failed.load(std::memory_order_acquire)) {
+            shard.entries.erase(eit);
+            shard.order.erase(oit);
+            retired_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
         if (eit->second->ready.load(std::memory_order_acquire)) {
             shard.entries.erase(eit);
             shard.order.erase(oit);
@@ -57,10 +80,17 @@ ResultCache::acquire(const std::string &key, std::uint64_t hash,
 
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
-        entry = it->second;
-        return entry->ready.load(std::memory_order_acquire)
-                   ? Lookup::Hit
-                   : Lookup::InFlight;
+        if (it->second->failed.load(std::memory_order_acquire)) {
+            // Lazy reclamation: the resident entry's compile
+            // failed, so this request retries with a fresh entry.
+            eraseLocked(shard, key);
+            retired_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            entry = it->second;
+            return entry->ready.load(std::memory_order_acquire)
+                       ? Lookup::Hit
+                       : Lookup::InFlight;
+        }
     }
 
     evictIfFull(shard);
@@ -76,7 +106,26 @@ ResultCache::find(const std::string &key, std::uint64_t hash) const
     const Shard &shard = shards_[hash % shards_.size()];
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.entries.find(key);
-    return it == shard.entries.end() ? nullptr : it->second;
+    if (it == shard.entries.end() ||
+        it->second->failed.load(std::memory_order_acquire))
+        return nullptr;
+    return it->second;
+}
+
+void
+ResultCache::retire(const std::string &key, std::uint64_t hash,
+                    const std::shared_ptr<CacheEntry> &entry)
+{
+    Shard &shard = shards_[hash % shards_.size()];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    // Identity compare: a retrying request may already have
+    // replaced the slot with a fresh entry we must not clobber
+    // (and acquire may have lazily reclaimed this one already).
+    if (it == shard.entries.end() || it->second != entry)
+        return;
+    eraseLocked(shard, key);
+    retired_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void

@@ -53,6 +53,16 @@ struct CacheEntry
     std::promise<std::shared_ptr<const CompileResult>> promise;
     std::shared_future<std::shared_ptr<const CompileResult>> future;
     std::atomic<bool> ready{false};
+
+    /**
+     * Set (before ready) when the compile resolved to a
+     * non-retryable-as-cached outcome — a Failed/Expired/Rejected
+     * result must not be served to later requests. A failed entry
+     * still resolves its future (waiters already coalesced onto it
+     * see the structured failure), but lookups treat it as absent
+     * so the next request for the key retries the compile.
+     */
+    std::atomic<bool> failed{false};
 };
 
 /** Sharded single-flight memo map. */
@@ -81,11 +91,22 @@ class ResultCache
 
     /**
      * Find the entry for @p key without creating one; nullptr when
-     * absent. The raw-text fast path of the service probes its
-     * alias map with this before paying for canonicalization.
+     * absent *or failed* (a failed entry is logically gone — it is
+     * physically reclaimed by retire/acquire/eviction). The
+     * raw-text fast path of the service probes its alias map with
+     * this before paying for canonicalization.
      */
     std::shared_ptr<CacheEntry> find(const std::string &key,
                                      std::uint64_t hash) const;
+
+    /**
+     * Eagerly reclaim a failed @p entry under @p key. Erases only
+     * if the resident entry *is* @p entry (identity compare): a
+     * fresh same-key entry inserted by a retrying request must not
+     * be clobbered. Counted under retired(), never evictions().
+     */
+    void retire(const std::string &key, std::uint64_t hash,
+                const std::shared_ptr<CacheEntry> &entry);
 
     /**
      * Map @p key to an @p entry owned elsewhere (capacity-bounded,
@@ -99,10 +120,16 @@ class ResultCache
     /** Entries currently resident (ready + in-flight). */
     std::uint64_t size() const;
 
-    /** Ready entries evicted so far. */
+    /** Ready (successful) entries evicted for capacity so far. */
     std::uint64_t evictions() const
     {
         return evictions_.load(std::memory_order_relaxed);
+    }
+
+    /** Failed entries reclaimed so far (never capacity events). */
+    std::uint64_t retired() const
+    {
+        return retired_.load(std::memory_order_relaxed);
     }
 
   private:
@@ -116,10 +143,12 @@ class ResultCache
     };
 
     void evictIfFull(Shard &shard);
+    void eraseLocked(Shard &shard, const std::string &key);
 
     std::vector<Shard> shards_;
     int perShardCap_;
     std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> retired_{0};
 };
 
 } // namespace dms

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "support/diag.h"
 #include "workload/suite.h"
 #include "workload/text.h"
 
@@ -49,21 +50,92 @@ coldLoopText(std::uint64_t seed, int index)
     return loopToText(synthesizeLoop(rng, params, index));
 }
 
+int
+RetryPolicy::delayMs(int attempt, Rng &rng) const
+{
+    double base = static_cast<double>(std::max(backoffBaseMs, 0));
+    for (int i = 0; i < attempt && base < backoffMaxMs; ++i)
+        base *= 2;
+    base = std::min(base, static_cast<double>(
+                              std::max(backoffMaxMs, 0)));
+    // Deterministic jitter in [0.5, 1.0): spreads synchronized
+    // retry herds without losing reproducibility per client rng.
+    return static_cast<int>(base * (0.5 + rng.uniform() * 0.5));
+}
+
+namespace {
+
+/**
+ * Wait a ticket out, honoring the deadline the same way
+ * CompileService::compile does: fire the compile's cancel token
+ * and synthesize Expired when the budget runs out first.
+ */
+CompileService::ResultPtr
+awaitTicket(CompileService::Ticket &ticket, int deadlineMs,
+            std::chrono::steady_clock::time_point t0)
+{
+    if (deadlineMs > 0 &&
+        ticket.future.wait_until(
+            t0 + std::chrono::milliseconds(deadlineMs)) ==
+            std::future_status::timeout) {
+        if (ticket.cancel != nullptr)
+            ticket.cancel->cancel();
+        auto expired = std::make_shared<CompileResult>();
+        expired->status = CompileStatus::Expired;
+        expired->parsed = true;
+        expired->error =
+            strfmt("deadline of %d ms exceeded", deadlineMs);
+        return expired;
+    }
+    return ticket.future.get();
+}
+
+} // namespace
+
+CompileService::ResultPtr
+compileWithRetry(CompileService &service, CompileRequest request,
+                 const RetryPolicy &policy, Rng &rng, int *retries)
+{
+    request.deadlineMs = policy.deadlineMs;
+    CompileService::ResultPtr result;
+    for (int attempt = 0;; ++attempt) {
+        auto t0 = std::chrono::steady_clock::now();
+        if (policy.submitWaitMs >= 0) {
+            CompileService::Ticket ticket =
+                service.trySubmit(request, policy.submitWaitMs);
+            result = awaitTicket(ticket, policy.deadlineMs, t0);
+        } else {
+            result = service.compile(request);
+        }
+        if (attempt + 1 >= std::max(policy.maxAttempts, 1) ||
+            !policy.shouldRetry(result->status))
+            return result;
+        if (retries != nullptr)
+            ++*retries;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            policy.delayMs(attempt, rng)));
+    }
+}
+
 HammerResult
 hammerService(
     CompileService &service, int total, int clients,
     const std::string &machineText, const std::string &scheduler,
     std::uint64_t seed,
-    const std::function<std::string(int, Rng &)> &makeLoop)
+    const std::function<std::string(int, Rng &)> &makeLoop,
+    const RetryPolicy &policy)
 {
     std::atomic<int> dispatched{0};
     std::atomic<int> failures{0};
+    std::atomic<int> retries{0};
+    std::atomic<int> by_status[7] = {};
     std::mutex latency_mu;
     Samples latencies;
     auto t0 = std::chrono::steady_clock::now();
     auto client = [&](int tid) {
         Rng rng(seed + static_cast<std::uint64_t>(tid) * 104729);
         Samples local;
+        int local_retries = 0;
         while (true) {
             int i = dispatched.fetch_add(1);
             if (i >= total)
@@ -74,14 +146,17 @@ hammerService(
             req.options.scheduler = scheduler;
             req.options.regalloc = true;
             auto r0 = std::chrono::steady_clock::now();
-            CompileService::ResultPtr result =
-                service.compile(req);
+            CompileService::ResultPtr result = compileWithRetry(
+                service, req, policy, rng, &local_retries);
             local.add(std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - r0)
                           .count());
+            by_status[static_cast<size_t>(result->status)]
+                .fetch_add(1);
             if (!result->parsed || !result->ok)
                 failures.fetch_add(1);
         }
+        retries.fetch_add(local_retries);
         std::lock_guard<std::mutex> lock(latency_mu);
         latencies.merge(local);
     };
@@ -96,6 +171,9 @@ hammerService(
     HammerResult out;
     out.requests = total;
     out.failures = failures.load();
+    out.retries = retries.load();
+    for (size_t s = 0; s < 7; ++s)
+        out.byStatus[s] = by_status[s].load();
     out.seconds = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();

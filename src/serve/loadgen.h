@@ -47,12 +47,72 @@ std::vector<std::string> hotKernelTexts();
  */
 std::string coldLoopText(std::uint64_t seed, int index);
 
+/**
+ * Client-side fault policy: bounded retry with exponential backoff
+ * and deterministic jitter on retryable outcomes (Rejected and
+ * Failed — transient by construction; Invalid, Quarantined and
+ * Expired are not retried: the first is permanent, the second is
+ * the service saying "stop", the third has no budget left).
+ */
+struct RetryPolicy
+{
+    int maxAttempts = 1;   ///< total tries; 1 disables retry
+    int backoffBaseMs = 2; ///< delay before the first retry
+    int backoffMaxMs = 100; ///< exponential-growth cap
+
+    /** Per-request deadline forwarded to CompileRequest (0=none). */
+    int deadlineMs = 0;
+
+    /**
+     * >= 0: submit through trySubmit() with this shed wait, so an
+     * overloaded service rejects instead of blocking the client.
+     * Negative keeps the blocking submit()/compile() path.
+     */
+    int submitWaitMs = -1;
+
+    /** Retryable terminal statuses. */
+    bool shouldRetry(CompileStatus status) const
+    {
+        return status == CompileStatus::Rejected ||
+               status == CompileStatus::Failed;
+    }
+
+    /**
+     * Backoff before retry number @p attempt (0-based):
+     * min(backoffMaxMs, backoffBaseMs * 2^attempt), jittered by a
+     * deterministic factor in [0.5, 1.0) drawn from @p rng.
+     */
+    int delayMs(int attempt, Rng &rng) const;
+};
+
+/**
+ * One request through the policy loop: submit (blocking or
+ * shedding per the policy), await (honoring the deadline), retry
+ * retryable outcomes with backoff. @p retries, when non-null,
+ * accumulates the number of extra attempts made.
+ */
+CompileService::ResultPtr
+compileWithRetry(CompileService &service, CompileRequest request,
+                 const RetryPolicy &policy, Rng &rng,
+                 int *retries = nullptr);
+
 /** What one hammer run did. */
 struct HammerResult
 {
     int requests = 0;
-    int failures = 0; ///< rejected or unschedulable
+    int failures = 0; ///< any terminal status other than Ok
+    int retries = 0;  ///< extra attempts made by the retry policy
     double seconds = 0;
+
+    /** Requests whose final status was the given one. */
+    int
+    count(CompileStatus status) const
+    {
+        return byStatus[static_cast<size_t>(status)];
+    }
+
+    /** Indexed by CompileStatus; sums to requests. */
+    int byStatus[7] = {0, 0, 0, 0, 0, 0, 0};
 
     /**
      * @name Per-request latency of *this* run (milliseconds)
@@ -80,12 +140,15 @@ struct HammerResult
  * the global request number; rng is per-client, seeded from
  * @p seed). Every request uses @p machineText, @p scheduler and
  * the regalloc stage — the standard serving configuration.
+ * @p policy adds the client-side fault loop; the default is the
+ * pre-fault-tolerance behavior (blocking submit, no retries).
  */
 HammerResult hammerService(
     CompileService &service, int total, int clients,
     const std::string &machineText, const std::string &scheduler,
     std::uint64_t seed,
-    const std::function<std::string(int, Rng &)> &makeLoop);
+    const std::function<std::string(int, Rng &)> &makeLoop,
+    const RetryPolicy &policy = {});
 
 } // namespace dms
 

@@ -6,11 +6,13 @@
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "codegen/emit.h"
 #include "machine/desc.h"
 #include "support/diag.h"
+#include "support/faultinject.h"
 #include "support/strings.h"
 #include "support/thread_pool.h"
 #include "workload/text.h"
@@ -23,14 +25,21 @@ namespace {
 struct Job
 {
     std::shared_ptr<CacheEntry> entry;
+    /** Canonical cache key + hash, for retire() and quarantine. */
+    std::string key;
+    std::uint64_t hash = 0;
     Loop loop;
     MachineModel machine;
     PipelineOptions options;
+    /** Non-null when the request carried a deadline. */
+    std::shared_ptr<CancelToken> cancel;
 
-    Job(std::shared_ptr<CacheEntry> e, Loop l, MachineModel m,
-        PipelineOptions o)
-        : entry(std::move(e)), loop(std::move(l)),
-          machine(std::move(m)), options(std::move(o))
+    Job(std::shared_ptr<CacheEntry> e, std::string k,
+        std::uint64_t h, Loop l, MachineModel m, PipelineOptions o,
+        std::shared_ptr<CancelToken> c)
+        : entry(std::move(e)), key(std::move(k)), hash(h),
+          loop(std::move(l)), machine(std::move(m)),
+          options(std::move(o)), cancel(std::move(c))
     {
     }
 };
@@ -61,6 +70,36 @@ class JobQueue
         queue_.push_back(std::move(job));
         peak_ = std::max(peak_, queue_.size());
         notEmpty_.notify_one();
+    }
+
+    /**
+     * Bounded-wait push: false (job untouched beyond the wait)
+     * when the queue stayed full for @p maxWaitMs — the load-shed
+     * signal. @p maxWaitMs <= 0 polls once.
+     */
+    bool
+    tryPush(std::unique_ptr<Job> &job, int maxWaitMs)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        const auto free = [&] {
+            return queue_.size() < capacity_ || stopped_;
+        };
+        if (!notFull_.wait_for(
+                lock,
+                std::chrono::milliseconds(std::max(maxWaitMs, 0)),
+                free))
+            return false;
+        DMS_ASSERT(!stopped_, "push after CompileService shutdown");
+        queue_.push_back(std::move(job));
+        peak_ = std::max(peak_, queue_.size());
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    size_t
+    capacity() const
+    {
+        return capacity_;
     }
 
     bool
@@ -150,18 +189,48 @@ ServeOptions::fromEnv()
     opts.shards = envInt("DMS_SERVE_SHARDS", opts.shards);
     opts.cacheCapacity =
         envInt("DMS_SERVE_CACHE_CAP", opts.cacheCapacity);
+    opts.quarantineAfter = envInt("DMS_SERVE_QUARANTINE_AFTER",
+                                  opts.quarantineAfter);
+    opts.quarantineProbe = envInt("DMS_SERVE_QUARANTINE_PROBE",
+                                  opts.quarantineProbe);
     return opts;
+}
+
+const char *
+compileStatusName(CompileStatus status)
+{
+    switch (status) {
+    case CompileStatus::Ok:
+        return "ok";
+    case CompileStatus::Unschedulable:
+        return "unschedulable";
+    case CompileStatus::Invalid:
+        return "invalid";
+    case CompileStatus::Failed:
+        return "failed";
+    case CompileStatus::Expired:
+        return "expired";
+    case CompileStatus::Rejected:
+        return "rejected";
+    case CompileStatus::Quarantined:
+        return "quarantined";
+    }
+    return "unknown";
 }
 
 struct CompileService::Impl
 {
-    explicit Impl(const ServeOptions &opts)
-        : queue(opts.queueDepth),
-          cache(opts.shards, opts.cacheCapacity),
-          aliases(opts.shards, opts.cacheCapacity),
-          workerCount(opts.workers > 0 ? opts.workers
-                                       : ThreadPool::defaultJobs())
+    explicit Impl(const ServeOptions &o)
+        : opts(o), queue(o.queueDepth),
+          cache(o.shards, o.cacheCapacity),
+          aliases(o.shards, o.cacheCapacity),
+          workerCount(o.workers > 0 ? o.workers
+                                    : ThreadPool::defaultJobs())
     {
+        // Honor DMS_FAULTS for any binary hosting a service, so
+        // the chaos surfaces (CI smoke, dmsd) need no plumbing.
+        // Idempotent and a no-op when the knob is unset.
+        armFaultsFromEnv();
         workers.reserve(static_cast<size_t>(workerCount));
         for (int w = 0; w < workerCount; ++w)
             workers.emplace_back([this] { workerLoop(); });
@@ -193,22 +262,143 @@ struct CompileService::Impl
         auto result = std::make_shared<CompileResult>();
         result->parsed = true;
 
-        Pipeline pipeline(job.options);
-        result->run =
-            runLoop(pipeline, job.loop, job.machine, ctx);
-        result->ok = result->run.ok;
-        if (result->ok && job.options.codegen) {
-            result->kernelText = emitPipelinedCode(
-                ctx.scheduledDdg(), job.machine, ctx.kernel,
-                ctx.queuesValid ? &ctx.queues : nullptr);
+        // A throwing compile must resolve the request as a
+        // structured result, never unwind the worker thread: the
+        // catch blocks below are the service's fault boundary.
+        try {
+            faultPoint("serve.worker.compile");
+            if (job.cancel != nullptr && job.cancel->cancelled())
+                throw CancelledError(
+                    "deadline expired before compile start");
+            Pipeline pipeline(job.options);
+            ctx.cancel = job.cancel.get();
+            result->run =
+                runLoop(pipeline, job.loop, job.machine, ctx);
+            ctx.cancel = nullptr;
+            result->ok = result->run.ok;
+            result->status = result->ok
+                                 ? CompileStatus::Ok
+                                 : CompileStatus::Unschedulable;
+            if (result->ok && job.options.codegen) {
+                result->kernelText = emitPipelinedCode(
+                    ctx.scheduledDdg(), job.machine, ctx.kernel,
+                    ctx.queuesValid ? &ctx.queues : nullptr);
+            }
+        } catch (const CancelledError &e) {
+            ctx.cancel = nullptr;
+            result->status = CompileStatus::Expired;
+            result->error = e.what();
+        } catch (const InjectedFault &e) {
+            ctx.cancel = nullptr;
+            result->status = CompileStatus::Failed;
+            result->error = e.what();
+            result->failSite = e.site();
+        } catch (const std::exception &e) {
+            ctx.cancel = nullptr;
+            result->status = CompileStatus::Failed;
+            result->error = e.what();
         }
 
-        // Publish: ready must be set before the promise wakes any
-        // waiter, so a concurrent acquire() that saw ready==false
-        // still classifies as InFlight and blocks on the future —
-        // never the other way around.
-        job.entry->ready.store(true, std::memory_order_release);
-        job.entry->promise.set_value(std::move(result));
+        finishCompile(job.entry, job.key, job.hash,
+                      std::move(result));
+    }
+
+    /**
+     * Resolve @p entry with @p result and do the fault-tolerance
+     * bookkeeping: failed/expired counters, poison tracking for
+     * the quarantine, and retirement of non-cacheable outcomes so
+     * the next same-key request retries instead of deadlocking on
+     * a dead future. Shared by workers and the shed/fault paths
+     * of submit (which also own an unresolved entry).
+     */
+    void
+    finishCompile(const std::shared_ptr<CacheEntry> &entry,
+                  const std::string &key, std::uint64_t hash,
+                  std::shared_ptr<CompileResult> result)
+    {
+        const CompileStatus status = result->status;
+        switch (status) {
+        case CompileStatus::Failed:
+            bump(failed);
+            notePoison(key, /*compileFailed=*/true);
+            break;
+        case CompileStatus::Expired:
+            bump(expired);
+            notePoison(key, /*compileFailed=*/false);
+            break;
+        case CompileStatus::Ok:
+        case CompileStatus::Unschedulable:
+            clearPoison(key);
+            break;
+        default:
+            break;
+        }
+
+        const bool cacheable = status == CompileStatus::Ok ||
+                               status == CompileStatus::Unschedulable;
+        // Publish order matters twice over: failed before ready so
+        // no lookup ever classifies a dead entry as a Hit, and
+        // ready before set_value so a concurrent acquire() that
+        // saw ready==false still blocks on the future — never the
+        // other way around.
+        if (!cacheable)
+            entry->failed.store(true, std::memory_order_release);
+        entry->ready.store(true, std::memory_order_release);
+        entry->promise.set_value(std::move(result));
+        if (!cacheable)
+            cache.retire(key, hash, entry);
+    }
+
+    /** Consecutive-failure tracking behind the quarantine. */
+    struct PoisonState
+    {
+        int fails = 0;     ///< consecutive Failed compiles
+        int rejects = 0;   ///< rejections since (re-)quarantine
+        bool quarantined = false;
+        bool probe = false; ///< a half-open probe is in flight
+    };
+
+    void
+    notePoison(const std::string &key, bool compileFailed)
+    {
+        std::lock_guard<std::mutex> lock(poisonMu);
+        PoisonState &p = poison[key];
+        p.probe = false;
+        if (!compileFailed)
+            return; // Expired: not evidence of poison either way.
+        if (++p.fails >= opts.quarantineAfter) {
+            p.quarantined = true;
+            p.rejects = 0;
+        }
+    }
+
+    void
+    clearPoison(const std::string &key)
+    {
+        std::lock_guard<std::mutex> lock(poisonMu);
+        poison.erase(key);
+    }
+
+    /**
+     * True when @p key is quarantined and this submit should be
+     * rejected. Every quarantineProbe-th rejection window instead
+     * lets one half-open probe through to re-test the key.
+     */
+    bool
+    quarantineReject(const std::string &key)
+    {
+        std::lock_guard<std::mutex> lock(poisonMu);
+        auto it = poison.find(key);
+        if (it == poison.end() || !it->second.quarantined)
+            return false;
+        PoisonState &p = it->second;
+        if (!p.probe && p.rejects >= opts.quarantineProbe) {
+            p.probe = true;
+            p.rejects = 0;
+            return false; // this request is the probe
+        }
+        ++p.rejects;
+        return true;
     }
 
     std::uint64_t
@@ -218,6 +408,7 @@ struct CompileService::Impl
         return ++counter;
     }
 
+    ServeOptions opts;
     JobQueue queue;
 
     /** The authoritative memo map, keyed on canonical text. */
@@ -241,8 +432,27 @@ struct CompileService::Impl
     std::uint64_t coalesced = 0;
     std::uint64_t misses = 0;
     std::uint64_t invalid = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t quarantined = 0;
     /** Reservoir-capped: a long-lived service must not grow. */
     Samples latenciesMs{std::uint64_t(1) << 16};
+
+    /**
+     * Overload indicator: shed -> true; a push that observes the
+     * queue back at half capacity or less -> false.
+     */
+    std::atomic<bool> degraded{false};
+
+    /** Quarantine state per canonical key. Success erases its
+     *  key; persistently failing keys stay resident — bounded by
+     *  the number of distinct poison requests seen. */
+    std::mutex poisonMu;
+    std::unordered_map<std::string, PoisonState> poison;
+
+    Ticket submitImpl(const CompileRequest &request,
+                      int shedWaitMs, bool shedding);
 };
 
 CompileService::CompileService(ServeOptions opts)
@@ -272,116 +482,314 @@ makeRequest(const Loop &loop, const MachineModel &machine,
     return req;
 }
 
-CompileService::Ticket
-CompileService::submit(const CompileRequest &request)
+namespace {
+
+/**
+ * Submit-side validation beyond the non-fatal parsers: every
+ * request-derived condition that would reach a fatal()/panic()
+ * inside a worker is rejected here as a structured Invalid result
+ * instead, so bad data can never take the service down. Returns
+ * the rejection reason, or empty when the request is safe.
+ */
+std::string
+validateRequest(const Loop &loop, const MachineModel &machine,
+                const PipelineOptions &options)
 {
-    impl_->bump(impl_->requests);
+    if (loop.ddg.numOps() == 0)
+        return "loop has no operations";
+    if (options.forceUnroll < 0 || options.forceUnroll > 1024) {
+        return strfmt("forceUnroll %d out of range [0, 1024]",
+                      options.forceUnroll);
+    }
+    if (options.unrollMaxFactor < 1 ||
+        options.unrollMaxFactor > 1024) {
+        return strfmt("unrollMaxFactor %d out of range [1, 1024]",
+                      options.unrollMaxFactor);
+    }
+    if (options.unrollMaxOps < 1 ||
+        options.unrollMaxOps > (1 << 20)) {
+        return strfmt("unrollMaxOps %d out of range [1, %d]",
+                      options.unrollMaxOps, 1 << 20);
+    }
+    // resMii panics when the body uses an FU class the machine
+    // has zero units of.
+    const std::vector<int> counts = loop.ddg.opCountByClass();
+    for (int cls = 0; cls < kNumFuClasses; ++cls) {
+        if (counts[static_cast<size_t>(cls)] > 0 &&
+            machine.totalFus(static_cast<FuClass>(cls)) == 0) {
+            return strfmt(
+                "loop needs %s units but machine '%s' has none",
+                fuClassName(static_cast<FuClass>(cls)),
+                machine.describe().c_str());
+        }
+    }
+    // On queue machines the single-use prepass inserts Copy ops
+    // for multi-use values (and clustered scheduling inserts
+    // Moves); both need the copy unit, so a copy-less queue
+    // machine would hit the same resMii panic post-prepass.
+    if (machine.regFileKind() == RegFileKind::Queues &&
+        machine.totalFus(FuClass::Copy) == 0) {
+        bool needs_copies = machine.clustered();
+        for (OpId id = 0;
+             !needs_copies && id < loop.ddg.numOps(); ++id) {
+            int uses = 0;
+            for (EdgeId e : loop.ddg.op(id).outs) {
+                if (loop.ddg.edgeActive(e) &&
+                    loop.ddg.edge(e).kind == DepKind::Flow)
+                    ++uses;
+            }
+            needs_copies = uses > 1;
+        }
+        if (needs_copies) {
+            return strfmt("machine '%s' is a queue machine with "
+                          "no copy units but the loop needs "
+                          "copies",
+                          machine.describe().c_str());
+        }
+    }
+    return "";
+}
+
+} // namespace
+
+CompileService::Ticket
+CompileService::Impl::submitImpl(const CompileRequest &request,
+                                 int shedWaitMs, bool shedding)
+{
+    bump(requests);
     Ticket ticket;
 
-    // Fast path: a verbatim repeat of an earlier request resolves
-    // through the raw-text alias map without re-parsing anything.
-    std::string raw_key = request.loopText;
-    raw_key += '\x01';
-    raw_key += request.machineText;
-    raw_key += '\x01';
-    raw_key += optionsKeyPart(request.options);
-    const std::uint64_t raw_hash = fnv1a64(raw_key);
-    if (std::shared_ptr<CacheEntry> alias =
-            impl_->aliases.find(raw_key, raw_hash)) {
-        ticket.future = alias->future;
-        ticket.key = raw_hash;
-        if (alias->ready.load(std::memory_order_acquire)) {
-            ticket.source = Source::Hit;
-            impl_->bump(impl_->hits);
-        } else {
-            ticket.source = Source::Coalesced;
-            impl_->bump(impl_->coalesced);
-        }
-        return ticket;
-    }
-
-    // Reject bad request data without involving a worker: a
-    // worker-side fatal() would take down the whole service, so
-    // everything data-dependent — both texts and the scheduler
-    // choice — is validated here and answered with an error
-    // result instead.
-    auto reject = [&](std::string error) -> Ticket {
+    auto immediate = [&](CompileStatus status, std::string why,
+                         Source source,
+                         std::string failSite = std::string()) {
         auto result = std::make_shared<CompileResult>();
-        result->error = std::move(error);
+        result->status = status;
+        result->parsed = status != CompileStatus::Invalid;
+        result->error = std::move(why);
+        result->failSite = std::move(failSite);
         std::promise<ResultPtr> p;
         p.set_value(std::move(result));
         ticket.future = p.get_future().share();
-        ticket.source = Source::Invalid;
-        impl_->bump(impl_->invalid);
+        ticket.source = source;
         return ticket;
     };
 
-    // Canonicalize: parse both texts and re-serialize, so every
-    // spelling of the same request (comments, whitespace, id gaps)
-    // lands on the same cache key. The machine is parsed first:
-    // flow-edge latencies in the loop format come from a latency
-    // model at parse time, and the machine's (which machineToText
-    // round-trips, overrides included) is the one the request
-    // names — the direct pipeline sees the same edges as long as
-    // the loop was built against the same model.
-    std::string error;
-    MachineModel machine = MachineModel::unclustered(1);
-    if (!machineFromText(request.machineText, machine, error))
-        return reject(std::move(error));
-    Loop loop;
-    if (!loopFromText(request.loopText, loop, error,
-                      machine.latency()))
-        return reject(std::move(error));
+    // If a submit-path fault fires after this request created the
+    // cache entry, the entry must still be resolved and retired —
+    // otherwise coalesced waiters hang on a future nobody owns.
+    std::shared_ptr<CacheEntry> owned;
+    std::string ownedKey;
+    std::uint64_t ownedHash = 0;
 
-    PipelineOptions options = request.options;
-    if (options.scheduler.empty())
-        options.scheduler = machine.clustered() ? "dms" : "ims";
-    std::unique_ptr<Scheduler> sched =
-        SchedulerRegistry::instance().create(options.scheduler);
-    if (sched == nullptr) {
-        return reject(strfmt("unknown scheduler '%s'",
-                             options.scheduler.c_str()));
-    }
-    if (!sched->supports(machine)) {
-        return reject(strfmt(
-            "scheduler '%s' does not support machine '%s'",
-            options.scheduler.c_str(),
-            machine.describe().c_str()));
-    }
-    // LoopRun extraction needs the perf stage; force it so a
-    // caller's perf=false cannot produce an unusable cached entry.
-    options.perf = true;
+    try {
+        // Fast path: a verbatim repeat of an earlier request
+        // resolves through the raw-text alias map without
+        // re-parsing anything.
+        std::string raw_key = request.loopText;
+        raw_key += '\x01';
+        raw_key += request.machineText;
+        raw_key += '\x01';
+        raw_key += optionsKeyPart(request.options);
+        const std::uint64_t raw_hash = fnv1a64(raw_key);
+        faultPoint("serve.cache.lookup");
+        if (std::shared_ptr<CacheEntry> alias =
+                aliases.find(raw_key, raw_hash)) {
+            ticket.future = alias->future;
+            ticket.key = raw_hash;
+            if (alias->ready.load(std::memory_order_acquire)) {
+                ticket.source = Source::Hit;
+                bump(hits);
+            } else {
+                ticket.source = Source::Coalesced;
+                bump(coalesced);
+            }
+            return ticket;
+        }
 
-    std::string key = loopToText(loop);
-    key += '\x01';
-    key += machineToText(machine);
-    key += '\x01';
-    key += optionsKeyPart(options);
-    ticket.key = fnv1a64(key);
+        // Reject bad request data without involving a worker: a
+        // worker-side fatal() would take down the whole service,
+        // so everything data-dependent — both texts, the
+        // scheduler choice, and the pipeline-reachable panics
+        // (validateRequest) — is answered with an error result.
+        auto reject = [&](std::string why) -> Ticket {
+            bump(invalid);
+            return immediate(CompileStatus::Invalid,
+                             std::move(why), Source::Invalid);
+        };
 
-    std::shared_ptr<CacheEntry> entry;
-    ResultCache::Lookup found =
-        impl_->cache.acquire(key, ticket.key, entry);
-    ticket.future = entry->future;
-    impl_->aliases.insertAlias(raw_key, raw_hash, entry);
-    switch (found) {
-    case ResultCache::Lookup::Hit:
-        ticket.source = Source::Hit;
-        impl_->bump(impl_->hits);
+        // Canonicalize: parse both texts and re-serialize, so
+        // every spelling of the same request (comments,
+        // whitespace, id gaps) lands on the same cache key. The
+        // machine is parsed first: flow-edge latencies in the
+        // loop format come from a latency model at parse time,
+        // and the machine's (which machineToText round-trips,
+        // overrides included) is the one the request names — the
+        // direct pipeline sees the same edges as long as the loop
+        // was built against the same model.
+        std::string error;
+        MachineModel machine = MachineModel::unclustered(1);
+        if (!machineFromText(request.machineText, machine, error))
+            return reject(std::move(error));
+        Loop loop;
+        if (!loopFromText(request.loopText, loop, error,
+                          machine.latency()))
+            return reject(std::move(error));
+
+        PipelineOptions options = request.options;
+        if (options.scheduler.empty())
+            options.scheduler =
+                machine.clustered() ? "dms" : "ims";
+        std::unique_ptr<Scheduler> sched =
+            SchedulerRegistry::instance().create(options.scheduler);
+        if (sched == nullptr) {
+            return reject(strfmt("unknown scheduler '%s'",
+                                 options.scheduler.c_str()));
+        }
+        if (!sched->supports(machine)) {
+            return reject(strfmt(
+                "scheduler '%s' does not support machine '%s'",
+                options.scheduler.c_str(),
+                machine.describe().c_str()));
+        }
+        std::string invalid_reason =
+            validateRequest(loop, machine, options);
+        if (!invalid_reason.empty())
+            return reject(std::move(invalid_reason));
+        // LoopRun extraction needs the perf stage; force it so a
+        // caller's perf=false cannot produce an unusable cached
+        // entry.
+        options.perf = true;
+
+        std::string key = loopToText(loop);
+        key += '\x01';
+        key += machineToText(machine);
+        key += '\x01';
+        key += optionsKeyPart(options);
+        ticket.key = fnv1a64(key);
+
+        if (quarantineReject(key)) {
+            bump(quarantined);
+            return immediate(
+                CompileStatus::Quarantined,
+                strfmt("key quarantined after %d consecutive "
+                       "failures",
+                       opts.quarantineAfter),
+                Source::Quarantined);
+        }
+
+        std::shared_ptr<CacheEntry> entry;
+        ResultCache::Lookup found =
+            cache.acquire(key, ticket.key, entry);
+        ticket.future = entry->future;
+        if (found == ResultCache::Lookup::Inserted) {
+            owned = entry;
+            ownedKey = key;
+            ownedHash = ticket.key;
+        }
+        faultPoint("serve.cache.insert");
+        aliases.insertAlias(raw_key, raw_hash, entry);
+        switch (found) {
+        case ResultCache::Lookup::Hit:
+            ticket.source = Source::Hit;
+            bump(hits);
+            return ticket;
+        case ResultCache::Lookup::InFlight:
+            ticket.source = Source::Coalesced;
+            bump(coalesced);
+            return ticket;
+        case ResultCache::Lookup::Inserted:
+            break;
+        }
+        ticket.source = Source::Miss;
+        bump(misses);
+
+        std::shared_ptr<CancelToken> cancel;
+        if (request.deadlineMs > 0) {
+            cancel = std::make_shared<CancelToken>();
+            cancel->setDeadline(
+                std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(request.deadlineMs));
+            ticket.cancel = cancel;
+        }
+        std::unique_ptr<Job> job(
+            new Job(entry, key, ticket.key, std::move(loop),
+                    std::move(machine), std::move(options),
+                    std::move(cancel)));
+
+        faultPoint("serve.queue.push");
+        bool pushed = true;
+        if (shedding)
+            pushed = queue.tryPush(job, shedWaitMs);
+        else
+            queue.push(std::move(job));
+        if (!pushed) {
+            // Shed. The entry this request created must resolve
+            // (coalesced waiters!) and retire so the next request
+            // for the key retries.
+            bump(shed);
+            degraded.store(true, std::memory_order_release);
+            auto result = std::make_shared<CompileResult>();
+            result->status = CompileStatus::Rejected;
+            result->parsed = true;
+            result->error = strfmt(
+                "queue full (%d deep): request shed after %d ms",
+                opts.queueDepth, std::max(shedWaitMs, 0));
+            finishCompile(entry, key, ticket.key,
+                          std::move(result));
+            ticket.source = Source::Rejected;
+            return ticket;
+        }
+        if (degraded.load(std::memory_order_relaxed) &&
+            queue.depth() * 2 <= opts.queueDepth)
+            degraded.store(false, std::memory_order_release);
         return ticket;
-    case ResultCache::Lookup::InFlight:
-        ticket.source = Source::Coalesced;
-        impl_->bump(impl_->coalesced);
-        return ticket;
-    case ResultCache::Lookup::Inserted:
-        break;
+    } catch (const InjectedFault &e) {
+        if (owned != nullptr) {
+            auto result = std::make_shared<CompileResult>();
+            result->status = CompileStatus::Failed;
+            result->parsed = true;
+            result->error = e.what();
+            result->failSite = e.site();
+            finishCompile(owned, ownedKey, ownedHash,
+                          std::move(result));
+            ticket.future = owned->future;
+            ticket.source = Source::Failed;
+            return ticket;
+        }
+        bump(failed);
+        return immediate(CompileStatus::Failed, e.what(),
+                         Source::Failed, e.site());
+    } catch (const CancelledError &e) {
+        if (owned != nullptr) {
+            auto result = std::make_shared<CompileResult>();
+            result->status = CompileStatus::Expired;
+            result->parsed = true;
+            result->error = e.what();
+            finishCompile(owned, ownedKey, ownedHash,
+                          std::move(result));
+            ticket.future = owned->future;
+            ticket.source = Source::Expired;
+            return ticket;
+        }
+        bump(expired);
+        return immediate(CompileStatus::Expired, e.what(),
+                         Source::Expired);
     }
-    ticket.source = Source::Miss;
-    impl_->bump(impl_->misses);
-    impl_->queue.push(std::unique_ptr<Job>(
-        new Job(std::move(entry), std::move(loop),
-                std::move(machine), std::move(options))));
-    return ticket;
+}
+
+CompileService::Ticket
+CompileService::submit(const CompileRequest &request)
+{
+    return impl_->submitImpl(request, /*shedWaitMs=*/0,
+                             /*shedding=*/false);
+}
+
+CompileService::Ticket
+CompileService::trySubmit(const CompileRequest &request,
+                          int maxWaitMs)
+{
+    return impl_->submitImpl(request, maxWaitMs,
+                             /*shedding=*/true);
 }
 
 CompileService::ResultPtr
@@ -389,7 +797,26 @@ CompileService::compile(const CompileRequest &request)
 {
     auto t0 = std::chrono::steady_clock::now();
     Ticket ticket = submit(request);
-    ResultPtr result = ticket.future.get();
+    ResultPtr result;
+    if (request.deadlineMs > 0 &&
+        ticket.future.wait_until(
+            t0 + std::chrono::milliseconds(request.deadlineMs)) ==
+            std::future_status::timeout) {
+        // Client-side expiry: fire the compile's token (the
+        // worker stops at the next stage boundary and retires the
+        // entry) and answer this caller right now.
+        if (ticket.cancel != nullptr)
+            ticket.cancel->cancel();
+        auto expired = std::make_shared<CompileResult>();
+        expired->status = CompileStatus::Expired;
+        expired->parsed = true;
+        expired->error = strfmt("deadline of %d ms exceeded",
+                                request.deadlineMs);
+        impl_->bump(impl_->expired);
+        result = std::move(expired);
+    } else {
+        result = ticket.future.get();
+    }
     auto t1 = std::chrono::steady_clock::now();
     double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -415,8 +842,13 @@ CompileService::stats() const
         out.coalesced = impl_->coalesced;
         out.misses = impl_->misses;
         out.invalid = impl_->invalid;
+        out.failed = impl_->failed;
+        out.expired = impl_->expired;
+        out.shed = impl_->shed;
+        out.quarantined = impl_->quarantined;
         latencies = impl_->latenciesMs;
     }
+    out.rejected = out.shed + out.quarantined;
     out.latencySamples = latencies.count();
     out.p50Ms = latencies.percentile(50);
     out.p90Ms = latencies.percentile(90);
@@ -425,10 +857,124 @@ CompileService::stats() const
     out.meanMs = latencies.mean();
     out.evictions = impl_->cache.evictions() +
                     impl_->aliases.evictions();
+    out.retired =
+        impl_->cache.retired() + impl_->aliases.retired();
     out.cached = impl_->cache.size();
+    out.degraded = impl_->degraded.load(std::memory_order_relaxed);
     out.queueDepth = impl_->queue.depth();
     out.peakQueueDepth = impl_->queue.peak();
+    out.queueCapacity = opts_.queueDepth;
     return out;
+}
+
+std::string
+serveStatsToText(const ServeStats &stats)
+{
+    std::string out = "servestats v1\n";
+    const auto line = [&out](const char *key, std::uint64_t v) {
+        out += strfmt("%s %llu\n", key,
+                      static_cast<unsigned long long>(v));
+    };
+    line("requests", stats.requests);
+    line("hits", stats.hits);
+    line("coalesced", stats.coalesced);
+    line("misses", stats.misses);
+    line("invalid", stats.invalid);
+    line("failed", stats.failed);
+    line("expired", stats.expired);
+    line("shed", stats.shed);
+    line("quarantined", stats.quarantined);
+    line("rejected", stats.rejected);
+    line("evictions", stats.evictions);
+    line("retired", stats.retired);
+    line("cached", stats.cached);
+    line("degraded", stats.degraded ? 1 : 0);
+    line("queue_depth",
+         static_cast<std::uint64_t>(std::max(stats.queueDepth, 0)));
+    line("peak_queue_depth",
+         static_cast<std::uint64_t>(
+             std::max(stats.peakQueueDepth, 0)));
+    line("queue_capacity",
+         static_cast<std::uint64_t>(
+             std::max(stats.queueCapacity, 0)));
+    return out;
+}
+
+bool
+serveStatsFromText(const std::string &text, ServeStats &stats,
+                   std::string &error)
+{
+    ServeStats parsed;
+    const std::vector<std::string> lines = split(text, '\n');
+    size_t i = 0;
+    while (i < lines.size() && trim(lines[i]).empty())
+        ++i;
+    if (i >= lines.size() || trim(lines[i]) != "servestats v1") {
+        error = "missing 'servestats v1' header";
+        return false;
+    }
+    int lineno = static_cast<int>(i) + 1;
+    for (++i; i < lines.size(); ++i) {
+        ++lineno;
+        const std::string line = trim(lines[i]);
+        if (line.empty() || line[0] == '#')
+            continue;
+        const size_t sp = line.find(' ');
+        if (sp == std::string::npos) {
+            error = strfmt("line %d: want 'key value'", lineno);
+            return false;
+        }
+        const std::string key = line.substr(0, sp);
+        const std::string value = trim(line.substr(sp + 1));
+        int v = 0;
+        if (!parseInt(value, v)) {
+            error = strfmt("line %d: bad value '%s' for '%s'",
+                           lineno, value.c_str(), key.c_str());
+            return false;
+        }
+        const std::uint64_t u = static_cast<std::uint64_t>(v);
+        if (key == "requests") {
+            parsed.requests = u;
+        } else if (key == "hits") {
+            parsed.hits = u;
+        } else if (key == "coalesced") {
+            parsed.coalesced = u;
+        } else if (key == "misses") {
+            parsed.misses = u;
+        } else if (key == "invalid") {
+            parsed.invalid = u;
+        } else if (key == "failed") {
+            parsed.failed = u;
+        } else if (key == "expired") {
+            parsed.expired = u;
+        } else if (key == "shed") {
+            parsed.shed = u;
+        } else if (key == "quarantined") {
+            parsed.quarantined = u;
+        } else if (key == "rejected") {
+            parsed.rejected = u;
+        } else if (key == "evictions") {
+            parsed.evictions = u;
+        } else if (key == "retired") {
+            parsed.retired = u;
+        } else if (key == "cached") {
+            parsed.cached = u;
+        } else if (key == "degraded") {
+            parsed.degraded = u != 0;
+        } else if (key == "queue_depth") {
+            parsed.queueDepth = static_cast<int>(v);
+        } else if (key == "peak_queue_depth") {
+            parsed.peakQueueDepth = static_cast<int>(v);
+        } else if (key == "queue_capacity") {
+            parsed.queueCapacity = static_cast<int>(v);
+        } else {
+            error = strfmt("line %d: unknown key '%s'", lineno,
+                           key.c_str());
+            return false;
+        }
+    }
+    stats = parsed;
+    return true;
 }
 
 } // namespace dms

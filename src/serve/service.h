@@ -56,10 +56,25 @@ struct ServeOptions
     int cacheCapacity = 4096;
 
     /**
+     * Poison quarantine: a canonical key whose compile fails this
+     * many consecutive times is quarantined — further submits get
+     * an immediate Quarantined rejection instead of a recompile.
+     */
+    int quarantineAfter = 3;
+
+    /**
+     * After this many quarantined rejections of a key, one
+     * half-open probe compile is allowed through; success clears
+     * the quarantine, failure re-arms the rejection window.
+     */
+    int quarantineProbe = 16;
+
+    /**
      * Environment overrides via the strict parse path (garbage,
      * trailing junk and overflow rejected with a warning):
      * DMS_SERVE_WORKERS, DMS_SERVE_QUEUE_DEPTH, DMS_SERVE_SHARDS,
-     * DMS_SERVE_CACHE_CAP.
+     * DMS_SERVE_CACHE_CAP, DMS_SERVE_QUARANTINE_AFTER,
+     * DMS_SERVE_QUARANTINE_PROBE.
      */
     static ServeOptions fromEnv();
 };
@@ -77,23 +92,57 @@ struct CompileRequest
      * pipeline recomputes them per compile.
      */
     PipelineOptions options;
+
+    /**
+     * Deadline budget in milliseconds; 0 means none. The deadline
+     * is a *client* property, excluded from the cache key: the
+     * worker polls it at pipeline stage boundaries (an expired
+     * compile resolves as Expired and is retired from the cache),
+     * and compile() waits at most this long before synthesizing an
+     * Expired result for this caller.
+     */
+    int deadlineMs = 0;
 };
+
+/** Terminal status of a request; exactly one per request. */
+enum class CompileStatus : std::uint8_t {
+    Ok,            ///< schedule found; run/kernelText valid
+    Unschedulable, ///< pipeline ran, II search hit its cap (cached)
+    Invalid,       ///< request text/options failed validation
+    Failed,        ///< compile threw (fault or bug); retried later
+    Expired,       ///< deadline passed before a result
+    Rejected,      ///< load shed: queue stayed full past the wait
+    Quarantined,   ///< poisoned key rejected without a recompile
+};
+
+/** Lowercase status name, e.g. "quarantined". */
+const char *compileStatusName(CompileStatus status);
 
 /** What the service returns (and caches) for one request. */
 struct CompileResult
 {
+    /** The terminal status; every other field derives from it. */
+    CompileStatus status = CompileStatus::Invalid;
+
     /**
      * False when the request was rejected before compilation:
      * malformed loop or machine text, an unknown scheduler name,
      * or a scheduler that does not support the machine. Rejected
-     * requests are never cached.
+     * requests are never cached. (Kept alongside status for the
+     * pre-fault-tolerance callers: parsed == status != Invalid.)
      */
     bool parsed = false;
 
-    /** Rejection reason when !parsed ("line N: ..."). */
+    /** Failure reason for every non-Ok status ("line N: ..."). */
     std::string error;
 
-    /** Schedule found (meaningful only when parsed). */
+    /**
+     * The fault site that killed the compile, for Failed results
+     * produced by an injected fault; empty otherwise.
+     */
+    std::string failSite;
+
+    /** Schedule found: ok == (status == Ok). */
     bool ok = false;
 
     /** The sweep-cell summary, identical to the direct-path run. */
@@ -114,11 +163,29 @@ struct ServeStats
     std::uint64_t coalesced = 0; ///< joined an in-flight compile
     std::uint64_t misses = 0;    ///< cold compilations started
     std::uint64_t invalid = 0;   ///< requests that failed to parse
-    std::uint64_t evictions = 0; ///< cache entries dropped
+    std::uint64_t evictions = 0; ///< ready entries dropped (cap)
     std::uint64_t cached = 0;    ///< entries resident right now
+
+    /** @name Fault-tolerance counters */
+    /// @{
+    std::uint64_t failed = 0;  ///< compiles resolved Failed
+    std::uint64_t expired = 0; ///< deadline expiries (Expired)
+    std::uint64_t shed = 0;    ///< trySubmit queue-full rejections
+    std::uint64_t quarantined = 0; ///< poisoned-key rejections
+    std::uint64_t rejected = 0;    ///< shed + quarantined
+    std::uint64_t retired = 0; ///< failed cache entries reclaimed
+
+    /**
+     * Sticky-ish overload indicator: set when a request is shed,
+     * cleared when a push observes the queue at half capacity or
+     * less. Clients may use it to back off preemptively.
+     */
+    bool degraded = false;
+    /// @}
 
     int queueDepth = 0;     ///< requests waiting right now
     int peakQueueDepth = 0; ///< high-water mark
+    int queueCapacity = 0;  ///< configured bound (ServeOptions)
 
     /** @name End-to-end compile() latency (milliseconds) */
     /// @{
@@ -157,6 +224,10 @@ class CompileService
         Coalesced, ///< duplicate of an in-flight compilation
         Hit,       ///< served from the cache
         Invalid,   ///< request text failed to parse (not cached)
+        Rejected,  ///< shed: queue stayed full past the wait
+        Quarantined, ///< poisoned key, rejected without compiling
+        Failed,    ///< submit-path fault; immediate Failed result
+        Expired,   ///< submit-path cancel; immediate Expired result
     };
 
     /** Handle for an accepted request. */
@@ -173,6 +244,14 @@ class CompileService
          * hashes (0 for Invalid).
          */
         std::uint64_t key = 0;
+
+        /**
+         * The compile's cancellation token when this submit
+         * started one (Source::Miss with a deadline); compile()
+         * fires it when the client-side wait times out so the
+         * worker stops burning on an abandoned request.
+         */
+        std::shared_ptr<CancelToken> cancel;
     };
 
     explicit CompileService(ServeOptions opts = {});
@@ -187,6 +266,15 @@ class CompileService
      * the bounded queue is full.
      */
     Ticket submit(const CompileRequest &request);
+
+    /**
+     * Load-shedding submit: like submit(), but waits at most
+     * @p maxWaitMs for queue space and resolves the request as a
+     * structured Rejected result when the queue stays full —
+     * bounded latency under overload instead of unbounded
+     * blocking. @p maxWaitMs <= 0 sheds immediately when full.
+     */
+    Ticket trySubmit(const CompileRequest &request, int maxWaitMs);
 
     /**
      * Synchronous entry point: submit() then wait. Records the
@@ -216,6 +304,20 @@ class CompileService
 CompileRequest makeRequest(const Loop &loop,
                            const MachineModel &machine,
                            const PipelineOptions &options);
+
+/**
+ * Serialize a stats snapshot into the "servestats v1" text format
+ * (one "key value" line per field) — the artifact dmslint's
+ * serve.stats-consistency checker audits.
+ */
+std::string serveStatsToText(const ServeStats &stats);
+
+/**
+ * Parse the "servestats v1" format back. Unknown keys, bad values
+ * and a missing header are errors; absent fields keep defaults.
+ */
+bool serveStatsFromText(const std::string &text, ServeStats &stats,
+                        std::string &error);
 
 } // namespace dms
 

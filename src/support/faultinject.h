@@ -1,0 +1,214 @@
+#ifndef DMS_SUPPORT_FAULTINJECT_H
+#define DMS_SUPPORT_FAULTINJECT_H
+
+/**
+ * @file
+ * Deterministic fault injection for the serving stack.
+ *
+ * The compile service and the pipeline thread named *fault sites*
+ * through their hot points (queue enqueue, cache lookup/insert,
+ * worker compile entry, every pipeline stage boundary). A site is a
+ * single inline check that is a relaxed atomic load plus a
+ * never-taken branch when no plan is armed — zero overhead and
+ * bit-identical behavior on the production path.
+ *
+ * Arming a FaultPlan (programmatically or via the DMS_FAULTS
+ * environment knob) turns chosen sites into chaos: a firing site
+ * throws an InjectedFault (a std::runtime_error the service maps to
+ * a structured Failed result), sleeps (injected latency), or throws
+ * a CancelledError (injected cancellation, mapped to Expired).
+ *
+ * Firing decisions are *deterministic per (site, hit index)*: the
+ * i-th execution of a site fires iff a hash of (entry seed, site
+ * name, i) falls under the configured rate. Thread interleaving
+ * only permutes which request observes which hit index; the fired
+ * count for a given hit count is reproducible, which is what the
+ * chaos tests pin.
+ *
+ * DMS_FAULTS grammar (comma-separated entries):
+ *
+ *   site:rate:seed[:kind]
+ *
+ *   site   a registered site name ("serve.worker.compile") or a
+ *          prefix wildcard ("serve.*", "pipeline.*", "*")
+ *   rate   firing probability per hit in [0, 1]
+ *   seed   64-bit decimal seed for the firing hash
+ *   kind   "error" (default), "cancel", or "delay=<micros>"
+ *
+ * Example: DMS_FAULTS="serve.*:0.15:1337,pipeline.*:0.1:42"
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dms {
+
+/** What an armed fault site does when it fires. */
+enum class FaultKind : std::uint8_t {
+    Error,  ///< throw InjectedFault
+    Delay,  ///< sleep for delayMicros
+    Cancel, ///< throw CancelledError
+};
+
+/** One entry of a fault plan: which sites, how often, what. */
+struct FaultSpec
+{
+    /** Site name, or a prefix wildcard ending in '*'. */
+    std::string site;
+    double rate = 0.0;
+    std::uint64_t seed = 0;
+    FaultKind kind = FaultKind::Error;
+    int delayMicros = 0;
+};
+
+/** Thrown by a firing Error site; carries the site name. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    explicit InjectedFault(const std::string &site);
+    const std::string &site() const { return site_; }
+
+  private:
+    std::string site_;
+};
+
+/**
+ * Thrown when a cancellation (deadline expiry or an injected
+ * Cancel fault) stops a compilation between pipeline stages.
+ */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * Cooperative cancellation: a shared flag plus an optional
+ * deadline. The pipeline polls cancelled() at stage boundaries;
+ * the service arms one per deadline-carrying request. Configure
+ * (setDeadline) before sharing across threads; cancel() and
+ * cancelled() are thread-safe afterwards.
+ */
+class CancelToken
+{
+  public:
+    void
+    cancel()
+    {
+        cancelled_.store(true, std::memory_order_release);
+    }
+
+    void
+    setDeadline(std::chrono::steady_clock::time_point deadline)
+    {
+        deadline_ = deadline;
+        hasDeadline_ = true;
+    }
+
+    bool
+    cancelled() const
+    {
+        if (cancelled_.load(std::memory_order_acquire))
+            return true;
+        return hasDeadline_ &&
+               std::chrono::steady_clock::now() >= deadline_;
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    bool hasDeadline_ = false;
+    std::chrono::steady_clock::time_point deadline_{};
+};
+
+/** A parsed, armable set of FaultSpecs. */
+class FaultPlan
+{
+  public:
+    /** Append one spec (programmatic plans). */
+    void add(FaultSpec spec) { specs_.push_back(std::move(spec)); }
+
+    /**
+     * Parse the DMS_FAULTS grammar into this plan (appending).
+     * False (with @p error set, no partial append) on a malformed
+     * spec string.
+     */
+    bool parse(const std::string &text, std::string &error);
+
+    const std::vector<FaultSpec> &specs() const { return specs_; }
+    bool empty() const { return specs_.empty(); }
+
+  private:
+    std::vector<FaultSpec> specs_;
+};
+
+/** Per-site observation counters for an armed plan. */
+struct FaultSiteStats
+{
+    std::string site;
+    std::uint64_t hits = 0;  ///< times the site executed
+    std::uint64_t fired = 0; ///< times a fault was injected
+};
+
+namespace detail {
+/** Non-null iff a plan is armed; the one load on the fast path. */
+extern std::atomic<const void *> g_faultPlan;
+void faultPointSlow(const char *site);
+} // namespace detail
+
+/**
+ * A named fault site. Free when disarmed: one relaxed load and a
+ * never-taken branch. When a plan is armed, the slow path matches
+ * @p site against the plan and may throw InjectedFault /
+ * CancelledError or sleep.
+ */
+inline void
+faultPoint(const char *site)
+{
+    if (__builtin_expect(detail::g_faultPlan.load(
+                             std::memory_order_relaxed) != nullptr,
+                         0))
+        detail::faultPointSlow(site);
+}
+
+/**
+ * Install @p plan process-wide (replacing any armed plan) and
+ * reset the per-site counters. Not safe against concurrent
+ * faultPoint() executions: quiesce (no in-flight compiles) before
+ * re-arming or disarming — the chaos surfaces arm before starting
+ * a service and disarm after draining it.
+ */
+void armFaults(FaultPlan plan);
+
+/** Remove the armed plan; every site is free again. */
+void disarmFaults();
+
+/** True while a plan is armed. */
+bool faultsArmed();
+
+/**
+ * Arm from the DMS_FAULTS environment knob, if set and non-empty.
+ * A malformed value is rejected with a warning (nothing armed).
+ * Returns true iff a plan was armed. Idempotent: re-invocation
+ * while armed keeps the current plan and counters.
+ */
+bool armFaultsFromEnv();
+
+/**
+ * Counters for every site observed since the plan was armed
+ * (sorted by site name). Empty when disarmed.
+ */
+std::vector<FaultSiteStats> faultStats();
+
+/** Sum of fired counts across all sites; 0 when disarmed. */
+std::uint64_t faultsInjected();
+
+} // namespace dms
+
+#endif // DMS_SUPPORT_FAULTINJECT_H

@@ -61,6 +61,8 @@ lintCorpusFile(const std::string &name)
         lintMachineTemplate(text, name, sink);
     else if (endsWith(name, ".machine"))
         lintMachineText(text, name, sink);
+    else if (endsWith(name, ".stats"))
+        lintServeStatsText(text, name, sink);
     else
         lintLoopText(text, name, sink);
     return sink;
@@ -81,7 +83,7 @@ fired(const DiagnosticSink &sink, const std::string &id)
     return firedIds(sink).count(id) > 0;
 }
 
-/** Every .machine/.mtmpl/.loop case of the corpus. */
+/** Every .machine/.mtmpl/.loop/.stats case of the corpus. */
 const std::vector<std::string> &
 corpusCases()
 {
@@ -91,6 +93,7 @@ corpusCases()
         "bad_template.mtmpl",     "bad_parse.loop",
         "store_no_value.loop",    "dead_op.loop",
         "dangling_operand.loop",  "noncanonical.loop",
+        "inconsistent.stats",
     };
     return kCases;
 }
@@ -213,6 +216,7 @@ TEST(CheckRegistry, AllIdsRegisteredAndSorted)
         "sched.move-shape",
         "sched.resource-overuse",
         "sched.unscheduled-op",
+        "serve.stats-consistency",
     };
     EXPECT_EQ(ids, expected);
 }
@@ -282,6 +286,7 @@ TEST(LintCorpus, EachCaseFlagsItsCheckWithLocation)
         {"dead_op.loop", "loop.dead-op", 5},
         {"dangling_operand.loop", "loop.dangling-operand", 5},
         {"noncanonical.loop", "loop.noncanonical-text", 0},
+        {"inconsistent.stats", "serve.stats-consistency", 0},
     };
     for (const Want &w : wants) {
         const DiagnosticSink sink = lintCorpusFile(w.file);

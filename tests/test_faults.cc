@@ -1,0 +1,689 @@
+/**
+ * @file
+ * Fault-tolerance tests: the deterministic fault-injection plan
+ * (grammar, per-site firing determinism, wildcard matching, fault
+ * kinds), the hardened compile service under chaos (every request
+ * one terminal status, the daemon never dies), quarantine of
+ * poisoned keys with half-open probing, deadline expiry, load
+ * shedding through trySubmit, the ServeStats text round-trip, and
+ * a fuzz of the result cache's eviction/retirement accounting
+ * against its conservation law.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyze.h"
+#include "machine/desc.h"
+#include "serve/cache.h"
+#include "serve/loadgen.h"
+#include "serve/service.h"
+#include "support/faultinject.h"
+#include "support/rng.h"
+#include "support/strings.h"
+#include "workload/suite.h"
+#include "workload/text.h"
+
+namespace dms {
+namespace {
+
+/** Disarm on scope exit so one test cannot poison the next. */
+struct FaultGuard
+{
+    ~FaultGuard() { disarmFaults(); }
+};
+
+/** Canonical request for one named kernel on the paper's ring. */
+CompileRequest
+kernelRequest(const char *kernel)
+{
+    Loop loop;
+    std::string error;
+    EXPECT_TRUE(loadLoopSpec(
+        (std::string("kernel:") + kernel).c_str(), loop, error))
+        << error;
+    PipelineOptions po;
+    po.scheduler = "dms";
+    po.regalloc = true;
+    po.codegen = true;
+    return makeRequest(loop, MachineModel::clusteredRing(4), po);
+}
+
+/** The final ServeStats must satisfy the lint identities. */
+void
+expectStatsConsistent(const CompileService &service,
+                      const char *label)
+{
+    DiagnosticSink sink;
+    lintServeStatsText(serveStatsToText(service.stats()), label,
+                       sink);
+    EXPECT_EQ(sink.renderText(), "") << label;
+}
+
+// --- plan grammar ------------------------------------------------------
+
+TEST(FaultPlan, ParsesTheDocumentedGrammar)
+{
+    FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(plan.parse(
+        "serve.worker.compile:0.25:1337,"
+        "pipeline.*:1:42:cancel, serve.queue.push:0.5:7:error ,"
+        "pipeline.unroll:0.125:9:delay=250",
+        error))
+        << error;
+    ASSERT_EQ(plan.specs().size(), 4u);
+    EXPECT_EQ(plan.specs()[0].site, "serve.worker.compile");
+    EXPECT_DOUBLE_EQ(plan.specs()[0].rate, 0.25);
+    EXPECT_EQ(plan.specs()[0].seed, 1337u);
+    EXPECT_EQ(plan.specs()[0].kind, FaultKind::Error);
+    EXPECT_EQ(plan.specs()[1].site, "pipeline.*");
+    EXPECT_EQ(plan.specs()[1].kind, FaultKind::Cancel);
+    EXPECT_EQ(plan.specs()[2].kind, FaultKind::Error);
+    EXPECT_EQ(plan.specs()[3].kind, FaultKind::Delay);
+    EXPECT_EQ(plan.specs()[3].delayMicros, 250);
+
+    // Empty entries are tolerated; an empty plan text is legal.
+    FaultPlan empty;
+    EXPECT_TRUE(empty.parse("", error));
+    EXPECT_TRUE(empty.parse(" , ,", error));
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecsWithoutPartialAppend)
+{
+    const char *bad[] = {
+        "site",                    // too few fields
+        "site:0.5",                // still too few
+        "site:0.5:1:error:extra",  // too many
+        ":0.5:1",                  // empty site
+        "site:2:1",                // rate out of [0,1]
+        "site:-0.5:1",             // negative rate
+        "site:frog:1",             // unparsable rate
+        "site:0.5:banana",         // unparsable seed
+        "site:0.5:1:bogus",        // unknown kind
+        "site:0.5:1:delay=x",      // unparsable delay
+    };
+    for (const char *text : bad) {
+        FaultPlan plan;
+        std::string error;
+        // A good leading entry must not survive the bad one.
+        const std::string combined =
+            std::string("good.site:0.5:1,") + text;
+        EXPECT_FALSE(plan.parse(combined, error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+        EXPECT_TRUE(plan.empty()) << text;
+    }
+}
+
+// --- firing semantics --------------------------------------------------
+
+TEST(FaultPoint, FreeAndInertWhenDisarmed)
+{
+    ASSERT_FALSE(faultsArmed());
+    EXPECT_NO_THROW(faultPoint("anything.at.all"));
+    EXPECT_TRUE(faultStats().empty());
+    EXPECT_EQ(faultsInjected(), 0u);
+}
+
+TEST(FaultPoint, FiringIsDeterministicPerSiteAndHitIndex)
+{
+    FaultGuard guard;
+    FaultPlan plan;
+    plan.add({"determinism.site", 0.37, 99, FaultKind::Error, 0});
+
+    auto pattern = [&]() {
+        std::vector<bool> fired;
+        for (int i = 0; i < 2000; ++i) {
+            bool f = false;
+            try {
+                faultPoint("determinism.site");
+            } catch (const InjectedFault &e) {
+                EXPECT_EQ(e.site(), "determinism.site");
+                f = true;
+            }
+            fired.push_back(f);
+        }
+        return fired;
+    };
+
+    armFaults(plan);
+    const std::vector<bool> first = pattern();
+    const std::uint64_t injected_first = faultsInjected();
+    disarmFaults();
+    armFaults(plan); // counters reset, same seed
+    const std::vector<bool> second = pattern();
+
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(faultsInjected(), injected_first);
+    const size_t count = static_cast<size_t>(
+        std::count(first.begin(), first.end(), true));
+    // ~37% of 2000; a deterministic draw, loosely bracketed.
+    EXPECT_GT(count, 500u);
+    EXPECT_LT(count, 1200u);
+
+    ASSERT_EQ(faultStats().size(), 1u);
+    EXPECT_EQ(faultStats()[0].site, "determinism.site");
+    EXPECT_EQ(faultStats()[0].hits, 2000u);
+    EXPECT_EQ(faultStats()[0].fired, count);
+}
+
+TEST(FaultPoint, RateEndpointsAndKinds)
+{
+    FaultGuard guard;
+    FaultPlan plan;
+    plan.add({"never.site", 0.0, 1, FaultKind::Error, 0});
+    plan.add({"always.site", 1.0, 2, FaultKind::Error, 0});
+    plan.add({"cancel.site", 1.0, 3, FaultKind::Cancel, 0});
+    plan.add({"delay.site", 1.0, 4, FaultKind::Delay, 20000});
+    armFaults(plan);
+
+    // Rate 0 armed behaves like disarmed (but is observed).
+    for (int i = 0; i < 100; ++i)
+        EXPECT_NO_THROW(faultPoint("never.site"));
+    EXPECT_THROW(faultPoint("always.site"), InjectedFault);
+    EXPECT_THROW(faultPoint("cancel.site"), CancelledError);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_NO_THROW(faultPoint("delay.site"));
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    EXPECT_GE(ms, 10.0); // 20 ms sleep, generous lower bound
+
+    for (const FaultSiteStats &s : faultStats()) {
+        if (s.site == "never.site") {
+            EXPECT_EQ(s.hits, 100u);
+            EXPECT_EQ(s.fired, 0u);
+        }
+    }
+}
+
+TEST(FaultPoint, PrefixWildcardsFirstMatchWins)
+{
+    FaultGuard guard;
+    FaultPlan plan;
+    plan.add({"pipeline.mii", 1.0, 1, FaultKind::Cancel, 0});
+    plan.add({"pipeline.*", 1.0, 2, FaultKind::Error, 0});
+    armFaults(plan);
+
+    // The specific entry shadows the wildcard behind it.
+    EXPECT_THROW(faultPoint("pipeline.mii"), CancelledError);
+    EXPECT_THROW(faultPoint("pipeline.schedule"), InjectedFault);
+    EXPECT_NO_THROW(faultPoint("serve.queue.push"));
+
+    disarmFaults();
+    FaultPlan all;
+    all.add({"*", 1.0, 3, FaultKind::Error, 0});
+    armFaults(all);
+    EXPECT_THROW(faultPoint("anything"), InjectedFault);
+}
+
+// --- service under faults ----------------------------------------------
+
+TEST(Faults, NoFaultAndRateZeroRunsBitIdentical)
+{
+    // Baseline: a never-armed service.
+    CompileRequest req = kernelRequest("fir8");
+    ServeOptions so;
+    so.workers = 2;
+    CompileService::ResultPtr base;
+    {
+        CompileService service(so);
+        base = service.compile(req);
+        ASSERT_TRUE(base->ok);
+    }
+
+    // A rate-0 plan armed across every site must not change a bit.
+    FaultGuard guard;
+    FaultPlan inert;
+    inert.add({"*", 0.0, 7, FaultKind::Error, 0});
+    armFaults(inert);
+    {
+        CompileService service(so);
+        CompileService::ResultPtr armed = service.compile(req);
+        ASSERT_TRUE(armed->ok);
+        EXPECT_TRUE(armed->run == base->run);
+        EXPECT_EQ(armed->kernelText, base->kernelText);
+    }
+    EXPECT_EQ(faultsInjected(), 0u); // observed but never fired
+    disarmFaults();
+
+    // After a chaos episode and disarm, a fresh service is again
+    // bit-identical to the never-faulted baseline.
+    FaultPlan chaos;
+    chaos.add({"serve.worker.compile", 0.5, 11, FaultKind::Error,
+               0});
+    armFaults(chaos);
+    {
+        CompileService service(so);
+        for (int i = 0; i < 8; ++i)
+            service.compile(req); // some fail, some succeed
+    }
+    disarmFaults();
+    {
+        CompileService service(so);
+        CompileService::ResultPtr after = service.compile(req);
+        ASSERT_TRUE(after->ok);
+        EXPECT_TRUE(after->run == base->run);
+        EXPECT_EQ(after->kernelText, base->kernelText);
+    }
+}
+
+/**
+ * The chaos hammer: eight clients drive the mixed hot/cold zipf
+ * load while every fault site is armed at 10-30%. The service must
+ * neither crash nor hang, every request must reach exactly one
+ * terminal status, and the final counters must satisfy the
+ * serve.stats-consistency identities.
+ */
+TEST(Faults, ChaosHammerEveryRequestOneTerminalStatus)
+{
+    FaultGuard guard;
+    FaultPlan plan;
+    plan.add({"serve.cache.lookup", 0.10, 101, FaultKind::Error,
+              0});
+    plan.add({"serve.cache.insert", 0.10, 102, FaultKind::Error,
+              0});
+    plan.add({"serve.queue.push", 0.15, 103, FaultKind::Error, 0});
+    plan.add({"serve.worker.compile", 0.20, 104, FaultKind::Error,
+              0});
+    plan.add({"pipeline.unroll", 0.15, 105, FaultKind::Delay,
+              200});
+    plan.add({"pipeline.schedule", 0.10, 106, FaultKind::Cancel,
+              0});
+    plan.add({"pipeline.*", 0.10, 107, FaultKind::Error, 0});
+    armFaults(plan);
+
+    ServeOptions so;
+    so.workers = 4;
+    so.queueDepth = 16;
+    CompileService service(so);
+
+    RetryPolicy policy;
+    policy.maxAttempts = 3;
+    policy.backoffBaseMs = 1;
+    policy.backoffMaxMs = 4;
+    policy.deadlineMs = 5000;
+    policy.submitWaitMs = 2;
+
+    const std::string machine_text =
+        machineToText(MachineModel::clusteredRing(4));
+    std::vector<std::string> hot = hotKernelTexts();
+    ZipfPicker zipf(hot.size());
+    constexpr int kTotal = 160;
+    HammerResult res = hammerService(
+        service, kTotal, /*clients=*/8, machine_text, "dms",
+        0xc4a05ULL, [&](int i, Rng &rng) -> std::string {
+            if (rng.range(1, 100) <= 75)
+                return hot[zipf.pick(rng)];
+            return coldLoopText(0xc4a05ULL, i);
+        },
+        policy);
+
+    // Exactly one terminal status per request, none Invalid (the
+    // generator only emits well-formed requests).
+    int sum = 0;
+    for (int s = 0; s < 7; ++s)
+        sum += res.byStatus[s];
+    EXPECT_EQ(sum, kTotal);
+    EXPECT_EQ(res.count(CompileStatus::Invalid), 0);
+    EXPECT_GT(res.count(CompileStatus::Ok), 0);
+    EXPECT_GT(faultsInjected(), 0u);
+
+    const ServeStats stats = service.stats();
+    EXPECT_GE(stats.requests, static_cast<std::uint64_t>(kTotal));
+    expectStatsConsistent(service, "chaos");
+
+    // The daemon survived: with the plan disarmed (workers idle —
+    // every future above resolved), service compiles cleanly.
+    disarmFaults();
+    CompileService::ResultPtr after =
+        service.compile(kernelRequest("daxpy"));
+    EXPECT_TRUE(after->ok) << after->error;
+}
+
+TEST(Faults, QuarantineTriggersThenProbeClears)
+{
+    FaultGuard guard;
+    ServeOptions so;
+    so.workers = 1;
+    so.quarantineAfter = 2;
+    so.quarantineProbe = 2;
+    CompileService service(so);
+    const CompileRequest req = kernelRequest("horner");
+
+    FaultPlan plan;
+    plan.add({"serve.worker.compile", 1.0, 5, FaultKind::Error,
+              0});
+    armFaults(plan);
+
+    // Two consecutive failures poison the key...
+    for (int i = 0; i < 2; ++i) {
+        CompileService::ResultPtr r = service.compile(req);
+        EXPECT_EQ(r->status, CompileStatus::Failed) << i;
+        EXPECT_EQ(r->failSite, "serve.worker.compile");
+    }
+    // ...and the next submits are rejected without compiling.
+    for (int i = 0; i < 2; ++i) {
+        CompileService::ResultPtr r = service.compile(req);
+        EXPECT_EQ(r->status, CompileStatus::Quarantined) << i;
+    }
+    EXPECT_EQ(service.stats().quarantined, 2u);
+
+    // After quarantineProbe rejections, one half-open probe goes
+    // through; with the fault gone it succeeds and clears the key.
+    disarmFaults();
+    CompileService::ResultPtr probe = service.compile(req);
+    EXPECT_EQ(probe->status, CompileStatus::Ok) << probe->error;
+
+    CompileService::Ticket warm = service.submit(req);
+    EXPECT_EQ(warm.source, CompileService::Source::Hit);
+    EXPECT_EQ(warm.future.get()->status, CompileStatus::Ok);
+    expectStatsConsistent(service, "quarantine");
+}
+
+TEST(Faults, DeadlineExpiresAndKeyRetriesAfterwards)
+{
+    FaultGuard guard;
+    FaultPlan plan;
+    // 30 ms per stage boundary: the compile cannot finish inside
+    // the 50 ms budget, so the worker's cancel poll must fire.
+    plan.add({"pipeline.*", 1.0, 8, FaultKind::Delay, 30000});
+    armFaults(plan);
+
+    ServeOptions so;
+    so.workers = 1;
+    CompileService service(so);
+    CompileRequest req = kernelRequest("daxpy");
+    req.deadlineMs = 50;
+
+    CompileService::Ticket ticket = service.submit(req);
+    EXPECT_EQ(ticket.source, CompileService::Source::Miss);
+    ASSERT_NE(ticket.cancel, nullptr);
+    CompileService::ResultPtr r = ticket.future.get();
+    EXPECT_EQ(r->status, CompileStatus::Expired);
+    EXPECT_TRUE(r->parsed);
+    EXPECT_GE(service.stats().expired, 1u);
+
+    // The expired entry was retired: the key retries (a fresh
+    // miss, not a hit on a dead entry) and now succeeds.
+    disarmFaults();
+    req.deadlineMs = 0;
+    CompileService::Ticket again = service.submit(req);
+    EXPECT_EQ(again.source, CompileService::Source::Miss);
+    EXPECT_EQ(again.future.get()->status, CompileStatus::Ok);
+    expectStatsConsistent(service, "deadline");
+}
+
+TEST(Faults, TrySubmitShedsWhenTheQueueStaysFull)
+{
+    FaultGuard guard;
+    FaultPlan plan;
+    // Park the single worker for 300 ms per compile.
+    plan.add({"serve.worker.compile", 1.0, 6, FaultKind::Delay,
+              300000});
+    armFaults(plan);
+
+    ServeOptions so;
+    so.workers = 1;
+    so.queueDepth = 1;
+    so.shards = 1;
+    CompileService service(so);
+
+    std::vector<CompileService::Ticket> tickets;
+    for (int i = 0; i < 4; ++i) {
+        CompileRequest req;
+        req.loopText = coldLoopText(0x5ed5ULL, i);
+        req.machineText =
+            machineToText(MachineModel::clusteredRing(4));
+        req.options.scheduler = "dms";
+        req.options.regalloc = true;
+        tickets.push_back(service.trySubmit(req, /*maxWaitMs=*/0));
+    }
+
+    int shed = 0;
+    int compiled = 0;
+    for (CompileService::Ticket &t : tickets) {
+        CompileService::ResultPtr r = t.future.get();
+        if (t.source == CompileService::Source::Rejected) {
+            ++shed;
+            EXPECT_EQ(r->status, CompileStatus::Rejected);
+            EXPECT_NE(r->error.find("queue full"),
+                      std::string::npos);
+        } else {
+            ++compiled;
+            EXPECT_EQ(r->status, CompileStatus::Ok) << r->error;
+        }
+    }
+    // The worker holds one job and the queue one more; at least
+    // two of four must have been shed, and the first (submitted
+    // into an empty queue) never is.
+    EXPECT_GE(shed, 2);
+    EXPECT_GE(compiled, 1);
+
+    const ServeStats stats = service.stats();
+    EXPECT_EQ(stats.shed, static_cast<std::uint64_t>(shed));
+    EXPECT_EQ(stats.rejected, stats.shed + stats.quarantined);
+    EXPECT_TRUE(stats.degraded);
+    expectStatsConsistent(service, "shed");
+    disarmFaults();
+}
+
+// --- request validation (the paths that used to panic) -----------------
+
+TEST(Validate, PanicReachableRequestsRejectedStructured)
+{
+    ServeOptions so;
+    so.workers = 1;
+    CompileService service(so);
+
+    // An FU class the machine lacks (resMii's panic).
+    CompileRequest no_mul = kernelRequest("daxpy");
+    no_mul.machineText = "clusters 1\n"
+                         "topology ring\n"
+                         "regfile queues\n"
+                         "fus ldst=1 add=1 mul=0 copy=1\n";
+    CompileService::ResultPtr r = service.compile(no_mul);
+    EXPECT_EQ(r->status, CompileStatus::Invalid);
+    EXPECT_NE(r->error.find("MUL units"), std::string::npos)
+        << r->error;
+
+    // Unroll knobs outside their domain (unroll stage fatal).
+    CompileRequest huge = kernelRequest("daxpy");
+    huge.options.forceUnroll = 5000;
+    r = service.compile(huge);
+    EXPECT_EQ(r->status, CompileStatus::Invalid);
+    EXPECT_NE(r->error.find("forceUnroll"), std::string::npos);
+
+    CompileRequest zero = kernelRequest("daxpy");
+    zero.options.unrollMaxFactor = 0;
+    r = service.compile(zero);
+    EXPECT_EQ(r->status, CompileStatus::Invalid);
+    EXPECT_NE(r->error.find("unrollMaxFactor"),
+              std::string::npos);
+
+    CompileRequest ops = kernelRequest("daxpy");
+    ops.options.unrollMaxOps = 0;
+    r = service.compile(ops);
+    EXPECT_EQ(r->status, CompileStatus::Invalid);
+    EXPECT_NE(r->error.find("unrollMaxOps"), std::string::npos);
+
+    // A clustered queue machine with no copy units cannot host
+    // the move/copy insertion the pipeline will attempt.
+    CompileRequest no_copy = kernelRequest("daxpy");
+    no_copy.machineText = "clusters 2\n"
+                          "topology ring\n"
+                          "regfile queues\n"
+                          "fus ldst=1 add=1 mul=1\n";
+    r = service.compile(no_copy);
+    EXPECT_EQ(r->status, CompileStatus::Invalid);
+
+    // The service survived every rejection.
+    CompileService::ResultPtr good =
+        service.compile(kernelRequest("daxpy"));
+    EXPECT_TRUE(good->ok) << good->error;
+    EXPECT_EQ(service.stats().invalid, 5u);
+    expectStatsConsistent(service, "validate");
+}
+
+// --- ServeStats text form ----------------------------------------------
+
+TEST(ServeStatsText, RoundTripsEveryCounter)
+{
+    ServeStats stats;
+    stats.requests = 101;
+    stats.hits = 42;
+    stats.coalesced = 7;
+    stats.misses = 31;
+    stats.invalid = 3;
+    stats.failed = 9;
+    stats.expired = 4;
+    stats.shed = 11;
+    stats.quarantined = 2;
+    stats.rejected = 13;
+    stats.evictions = 5;
+    stats.retired = 6;
+    stats.cached = 17;
+    stats.degraded = true;
+    stats.queueDepth = 3;
+    stats.peakQueueDepth = 12;
+    stats.queueCapacity = 64;
+
+    const std::string text = serveStatsToText(stats);
+    EXPECT_EQ(text.rfind("servestats v1\n", 0), 0u);
+
+    ServeStats back;
+    std::string error;
+    ASSERT_TRUE(serveStatsFromText(text, back, error)) << error;
+    EXPECT_EQ(back.requests, stats.requests);
+    EXPECT_EQ(back.hits, stats.hits);
+    EXPECT_EQ(back.coalesced, stats.coalesced);
+    EXPECT_EQ(back.misses, stats.misses);
+    EXPECT_EQ(back.invalid, stats.invalid);
+    EXPECT_EQ(back.failed, stats.failed);
+    EXPECT_EQ(back.expired, stats.expired);
+    EXPECT_EQ(back.shed, stats.shed);
+    EXPECT_EQ(back.quarantined, stats.quarantined);
+    EXPECT_EQ(back.rejected, stats.rejected);
+    EXPECT_EQ(back.evictions, stats.evictions);
+    EXPECT_EQ(back.retired, stats.retired);
+    EXPECT_EQ(back.cached, stats.cached);
+    EXPECT_EQ(back.degraded, stats.degraded);
+    EXPECT_EQ(back.queueDepth, stats.queueDepth);
+    EXPECT_EQ(back.peakQueueDepth, stats.peakQueueDepth);
+    EXPECT_EQ(back.queueCapacity, stats.queueCapacity);
+}
+
+TEST(ServeStatsText, RejectsMalformedText)
+{
+    ServeStats out;
+    std::string error;
+    EXPECT_FALSE(serveStatsFromText("", out, error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(
+        serveStatsFromText("requests 3\n", out, error));
+    EXPECT_FALSE(serveStatsFromText(
+        "servestats v1\nbogus_key 3\n", out, error));
+    EXPECT_FALSE(serveStatsFromText(
+        "servestats v1\nrequests banana\n", out, error));
+    EXPECT_FALSE(serveStatsFromText(
+        "servestats v1\nrequestsonly\n", out, error));
+    // Comments and blank lines are fine.
+    EXPECT_TRUE(serveStatsFromText(
+        "\nservestats v1\n# comment\n\nrequests 3\n", out, error))
+        << error;
+    EXPECT_EQ(out.requests, 3u);
+}
+
+// --- cache eviction/retirement accounting ------------------------------
+
+/**
+ * Conservation fuzz: every entry that enters the cache leaves it
+ * through exactly one of eviction (ready), retirement (failed) or
+ * residency. After every operation the recount
+ *   inserted == size() + evictions() + retired()
+ * must hold exactly, and no lookup may ever surface a failed
+ * entry.
+ */
+TEST(CacheAccounting, FuzzedConservationExact)
+{
+    ResultCache cache(/*shards=*/2, /*capacity=*/8);
+    Rng rng(0xacc7ULL);
+    std::uint64_t inserted = 0;
+    std::uint64_t resolved_failed = 0;
+    std::vector<std::pair<std::string,
+                          std::shared_ptr<CacheEntry>>>
+        inflight;
+
+    auto resolve = [&](const std::string &key,
+                       const std::shared_ptr<CacheEntry> &entry) {
+        const bool fail = rng.range(0, 99) < 40;
+        if (fail) {
+            ++resolved_failed;
+            entry->failed.store(true, std::memory_order_release);
+        }
+        entry->ready.store(true, std::memory_order_release);
+        entry->promise.set_value(
+            std::make_shared<CompileResult>());
+        // Half of the failures retire eagerly (the service path);
+        // the rest are reclaimed lazily by acquire/eviction.
+        if (fail && rng.range(0, 1) == 0)
+            cache.retire(key, fnv1a64(key), entry);
+    };
+
+    for (int step = 0; step < 5000; ++step) {
+        const std::string key =
+            strfmt("key-%d", static_cast<int>(rng.range(0, 39)));
+        const std::uint64_t hash = fnv1a64(key);
+        const int action = static_cast<int>(rng.range(0, 99));
+        if (action < 60) {
+            std::shared_ptr<CacheEntry> entry;
+            const ResultCache::Lookup found =
+                cache.acquire(key, hash, entry);
+            ASSERT_NE(entry, nullptr);
+            if (found == ResultCache::Lookup::Inserted) {
+                ++inserted;
+                if (rng.range(0, 99) < 70)
+                    resolve(key, entry);
+                else
+                    inflight.emplace_back(key, entry);
+            } else if (found == ResultCache::Lookup::Hit) {
+                EXPECT_FALSE(entry->failed.load());
+                EXPECT_TRUE(entry->ready.load());
+            }
+        } else if (action < 90) {
+            const std::shared_ptr<CacheEntry> found =
+                cache.find(key, hash);
+            if (found != nullptr) {
+                EXPECT_FALSE(found->failed.load());
+            }
+        } else if (!inflight.empty()) {
+            const size_t pick = static_cast<size_t>(rng.range(
+                0, static_cast<int>(inflight.size()) - 1));
+            resolve(inflight[pick].first, inflight[pick].second);
+            inflight.erase(inflight.begin() +
+                           static_cast<long>(pick));
+        }
+        ASSERT_EQ(inserted, cache.size() + cache.evictions() +
+                                cache.retired())
+            << "step " << step;
+    }
+    for (auto &p : inflight)
+        resolve(p.first, p.second);
+    EXPECT_EQ(inserted,
+              cache.size() + cache.evictions() + cache.retired());
+    // The fuzz actually exercised both exit paths.
+    EXPECT_GT(cache.evictions(), 0u);
+    EXPECT_GT(cache.retired(), 0u);
+    EXPECT_GT(resolved_failed, 0u);
+}
+
+} // namespace
+} // namespace dms
