@@ -31,6 +31,8 @@
 #include "eval/runner.h"
 #include "ir/prepass.h"
 #include "sched/ims.h"
+#include "sched/mii.h"
+#include "sched/priority.h"
 #include "support/diag.h"
 #include "support/strings.h"
 #include "workload/suite.h"
@@ -84,7 +86,8 @@ repsFromEnv(int fallback)
 }
 
 Throughput
-timeReps(const std::vector<Prepared> &work, int reps)
+timeReps(const std::vector<Prepared> &work, int reps,
+         const DmsParams *dms_params = nullptr)
 {
     Throughput best;
     for (int r = 0; r < reps; ++r) {
@@ -94,7 +97,10 @@ timeReps(const std::vector<Prepared> &work, int reps)
             if (p.clustered) {
                 MachineModel m =
                     MachineModel::clusteredRing(p.clusters);
-                DmsOutcome out = scheduleDms(p.body, m);
+                DmsOutcome out = scheduleDms(
+                    p.body, m,
+                    dms_params != nullptr ? *dms_params
+                                          : DmsParams{});
                 t.placements += out.sched.budgetUsed;
                 t.attempts += out.sched.attempts;
                 t.scheduled += out.sched.ok ? 1 : 0;
@@ -182,6 +188,61 @@ gateAgainstBaseline(const char *key, double measured,
     return true;
 }
 
+/** Cost of walking every body's height table up an II ladder. */
+struct LadderCost
+{
+    double fullSeconds = 0;  ///< one full relaxation per rung
+    double deltaSeconds = 0; ///< HeightLadder delta steps
+    long rungs = 0;          ///< total (body, II) rungs walked
+    long affectedOps = 0;    ///< sum of per-body affected sets
+    long totalOps = 0;       ///< sum of per-body live op counts
+};
+
+/**
+ * Time the ladder-setup cost in isolation: for each prepared body,
+ * walk II = RecMII .. RecMII+7 once with a full relaxation per rung
+ * and once with the incremental HeightLadder, which is what every
+ * DmsAttempt::beginAttempt now pays.
+ */
+LadderCost
+timeHeightLadder(const std::vector<Prepared> &work)
+{
+    constexpr int kRungs = 8;
+    LadderCost cost;
+
+    std::vector<int> base;
+    base.reserve(work.size());
+    for (const Prepared &p : work) {
+        base.push_back(std::max(1, recMii(p.body)));
+        cost.totalOps += p.body.liveOpCount();
+    }
+
+    Heights scratch;
+    auto t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < work.size(); ++i) {
+        for (int ii = base[i]; ii < base[i] + kRungs; ++ii)
+            computeHeights(work[i].body, ii, scratch);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    cost.fullSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    t0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < work.size(); ++i) {
+        HeightLadder fresh;
+        for (int ii = base[i]; ii < base[i] + kRungs; ++ii) {
+            if (!fresh.ensure(work[i].body, ii))
+                fatal("height ladder diverged at II %d", ii);
+        }
+        cost.affectedOps += fresh.affectedOps();
+    }
+    t1 = std::chrono::steady_clock::now();
+    cost.deltaSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    cost.rungs = static_cast<long>(work.size()) * kRungs;
+    return cost;
+}
+
 void
 appendThroughput(std::string &out, const char *key,
                  const Throughput &t)
@@ -258,6 +319,42 @@ main()
                 ims_t.seconds, ims_t.placementsPerSec(),
                 ims_t.attemptsPerSec());
 
+    // Ladder sub-block: height-table setup cost (full relaxation
+    // per rung vs the incremental HeightLadder) and the speculative
+    // II ladder against the serial one. The speculative walk must
+    // be bit-identical work — same schedules, same attempts, same
+    // budget — so any accounting drift is a fatal bench failure.
+    LadderCost ladder = timeHeightLadder(dms_work);
+    DmsParams serial_params;
+    serial_params.speculateII = 0;
+    DmsParams spec_params;
+    spec_params.speculateII = 1;
+    Throughput serial_t = timeReps(dms_work, reps, &serial_params);
+    Throughput spec_t = timeReps(dms_work, reps, &spec_params);
+    const bool match = serial_t.scheduled == spec_t.scheduled &&
+                       serial_t.attempts == spec_t.attempts &&
+                       serial_t.placements == spec_t.placements;
+    if (!match) {
+        fatal("speculative ladder diverged from serial: "
+              "%ld/%ld scheduled, %ld/%ld attempts, %ld/%ld "
+              "placements",
+              spec_t.scheduled, serial_t.scheduled,
+              spec_t.attempts, serial_t.attempts,
+              spec_t.placements, serial_t.placements);
+    }
+    std::printf("ladder: %ld rungs, full %.4f s, delta %.4f s "
+                "(%.1fx), %ld/%ld ops II-dependent\n",
+                ladder.rungs, ladder.fullSeconds,
+                ladder.deltaSeconds,
+                ladder.deltaSeconds > 0
+                    ? ladder.fullSeconds / ladder.deltaSeconds
+                    : 0.0,
+                ladder.affectedOps, ladder.totalOps);
+    std::printf("ladder: serial %.3f s, speculative %.3f s, "
+                "scheduled match %s\n",
+                serial_t.seconds, spec_t.seconds,
+                match ? "yes" : "no");
+
     std::string json = "{";
     json += "\"bench\":\"sched_hotpath\",";
     json += strfmt("\"suite_size\":%zu,", suite.size());
@@ -267,6 +364,15 @@ main()
     appendThroughput(json, "dms", dms_t);
     json += ",";
     appendThroughput(json, "ims", ims_t);
+    json += ",";
+    json += strfmt(
+        "\"ladder\":{\"rungs\":%ld,\"full_seconds\":%.6f,"
+        "\"delta_seconds\":%.6f,\"affected_ops\":%ld,"
+        "\"total_ops\":%ld,\"serial_seconds\":%.6f,"
+        "\"speculative_seconds\":%.6f,\"scheduled_match\":%s}",
+        ladder.rungs, ladder.fullSeconds, ladder.deltaSeconds,
+        ladder.affectedOps, ladder.totalOps, serial_t.seconds,
+        spec_t.seconds, match ? "true" : "false");
     json += "}";
 
     const char *path = "BENCH_sched_hotpath.json";

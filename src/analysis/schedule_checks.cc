@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "analysis/builtin_checks.h"
+#include "sched/priority.h"
 #include "support/diag.h"
 
 namespace dms {
@@ -213,6 +214,102 @@ class DepLatencyCheck final : public BuiltinCheck
                        ddg.opLabel(edge.dst).c_str(), actual,
                        view.at(edge.src).time, edge.latency,
                        edge.distance, earliest));
+        }
+    }
+};
+
+class HeightConsistencyCheck final : public BuiltinCheck
+{
+  public:
+    HeightConsistencyCheck()
+        : BuiltinCheck("sched.height-consistency",
+                       "scheduling heights re-derived from first "
+                       "principles converge at the schedule's II "
+                       "and match the production table",
+                       ArtifactKind::Schedule)
+    {
+    }
+
+    bool
+    applicable(const AnalysisInput &input) const override
+    {
+        return input.ddg != nullptr && input.schedule != nullptr;
+    }
+
+    void
+    run(const AnalysisInput &input, DiagnosticSink &sink) const
+        override
+    {
+        const Ddg &ddg = *input.ddg;
+        const int ii = input.schedule->ii;
+        if (ii < 1)
+            return; // sched.resource-overuse reports this
+        // Independent relaxation, deliberately unlike the
+        // production code in sched/priority.cc: ascending-id
+        // Bellman-Ford sweeps instead of a descending worklist, so
+        // a bug in the delta-height ladder cannot echo here.
+        std::vector<long> naive(
+            static_cast<size_t>(ddg.numOps()), 0);
+        long sweeps = static_cast<long>(ddg.numOps()) + 2;
+        bool changed = true;
+        while (changed && sweeps-- > 0) {
+            changed = false;
+            for (OpId v = 0; v < ddg.numOps(); ++v) {
+                if (!ddg.opLive(v))
+                    continue;
+                long best = 0;
+                for (EdgeId e : ddg.op(v).outs) {
+                    if (!ddg.edgeActive(e))
+                        continue;
+                    const Edge &edge = ddg.edge(e);
+                    const long through =
+                        naive[static_cast<size_t>(edge.dst)] +
+                        edge.latency -
+                        static_cast<long>(ii) * edge.distance;
+                    best = std::max(best, through);
+                }
+                if (best != naive[static_cast<size_t>(v)]) {
+                    naive[static_cast<size_t>(v)] = best;
+                    changed = true;
+                }
+            }
+        }
+        if (changed) {
+            // Still relaxing after numOps sweeps: a positive-weight
+            // cycle, i.e. the II is below the recurrence bound.
+            sink.report(
+                id(), Severity::Error, artifact(), DiagLocation(),
+                strfmt("height relaxation does not converge at II "
+                       "%d: the schedule's II is below the "
+                       "recurrence-imposed minimum",
+                       ii));
+            return;
+        }
+        Heights produced;
+        if (!tryComputeHeights(ddg, ii, produced)) {
+            sink.report(
+                id(), Severity::Error, artifact(), DiagLocation(),
+                strfmt("computeHeights diverges at II %d but an "
+                       "independent relaxation converges",
+                       ii));
+            return;
+        }
+        for (OpId v = 0; v < ddg.numOps(); ++v) {
+            if (!ddg.opLive(v))
+                continue;
+            if (produced[static_cast<size_t>(v)] ==
+                naive[static_cast<size_t>(v)])
+                continue;
+            DiagLocation loc;
+            loc.op = v;
+            sink.report(
+                id(), Severity::Error, artifact(), loc,
+                strfmt("height of %s at II %d is %lld but the "
+                       "independent relaxation derives %ld",
+                       ddg.opLabel(v).c_str(), ii,
+                       static_cast<long long>(
+                           produced[static_cast<size_t>(v)]),
+                       naive[static_cast<size_t>(v)]));
         }
     }
 };
@@ -472,6 +569,7 @@ registerScheduleChecks(CheckRegistry &registry)
     registry.add(std::make_unique<UnscheduledOpCheck>());
     registry.add(std::make_unique<ResourceOveruseCheck>());
     registry.add(std::make_unique<DepLatencyCheck>());
+    registry.add(std::make_unique<HeightConsistencyCheck>());
     registry.add(std::make_unique<IiLowerBoundCheck>());
     registry.add(std::make_unique<CommHopCheck>());
     registry.add(std::make_unique<MoveShapeCheck>());

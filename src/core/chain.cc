@@ -1,5 +1,7 @@
 #include "core/chain.h"
 
+#include <algorithm>
+
 #include "support/diag.h"
 
 namespace dms {
@@ -25,6 +27,8 @@ ChainRegistry::create(Ddg &ddg, EdgeId edge, const ClusterId *path,
 
     Chain c;
     c.originalEdge = edge;
+    c.src = orig.src;
+    c.dst = orig.dst;
     c.clusters.assign(path, path + path_len);
 
     ddg.markReplaced(edge);
@@ -54,6 +58,7 @@ ChainRegistry::create(Ddg &ddg, EdgeId edge, const ClusterId *path,
     c.edges.push_back(last);
 
     chains_.push_back(std::move(c));
+    live_ids_.push_back(static_cast<int>(chains_.size()) - 1);
     return static_cast<int>(chains_.size()) - 1;
 }
 
@@ -75,6 +80,8 @@ ChainRegistry::dissolve(int chain_id, Ddg &ddg, PartialSchedule &ps)
     }
     ddg.unmarkReplaced(c.originalEdge);
     c.dissolved = true;
+    live_ids_.erase(std::lower_bound(live_ids_.begin(),
+                                     live_ids_.end(), chain_id));
 }
 
 int
@@ -86,17 +93,14 @@ ChainRegistry::chainOfMove(OpId op) const
 }
 
 void
-ChainRegistry::chainsTouching(const Ddg &ddg, OpId op,
+ChainRegistry::chainsTouching(const Ddg &, OpId op,
                               std::vector<int> &out) const
 {
     out.clear();
-    for (size_t i = 0; i < chains_.size(); ++i) {
-        const Chain &c = chains_[i];
-        if (c.dissolved)
-            continue;
-        const Edge &e = ddg.edge(c.originalEdge);
-        if (e.src == op || e.dst == op)
-            out.push_back(static_cast<int>(i));
+    for (int id : live_ids_) {
+        const Chain &c = chains_[static_cast<size_t>(id)];
+        if (c.src == op || c.dst == op)
+            out.push_back(id);
     }
 }
 

@@ -30,6 +30,14 @@ struct Chain
 {
     EdgeId originalEdge = kInvalidEdge;
 
+    /**
+     * Endpoints of the original edge, cached at create() time so
+     * the eviction hot path (chainsTouching) never re-derives them
+     * through the graph.
+     */
+    OpId src = kInvalidOp;
+    OpId dst = kInvalidOp;
+
     /** Move ops, producer side first. */
     std::vector<OpId> moves;
 
@@ -52,6 +60,7 @@ class ChainRegistry
     {
         chains_.clear();
         chain_of_move_.clear();
+        live_ids_.clear();
     }
 
     /**
@@ -110,6 +119,14 @@ class ChainRegistry
     std::vector<Chain> chains_;
     /** op -> owning chain id (grown on demand; -1 = none). */
     std::vector<int> chain_of_move_;
+    /**
+     * Ids of live chains, ascending. create() appends (ids are
+     * monotone) and dissolve() erases, so the eviction hot path
+     * scans only live chains instead of every tombstone the
+     * attempt ever created — chainsTouching dominated the DMS
+     * profile before this.
+     */
+    std::vector<int> live_ids_;
 };
 
 } // namespace dms

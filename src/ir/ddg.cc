@@ -136,41 +136,6 @@ Ddg::unmarkReplaced(EdgeId eid)
         listener_->onEdgeActivated(eid);
 }
 
-const Operation &
-Ddg::op(OpId id) const
-{
-    DMS_ASSERT(id >= 0 && id < numOps(), "bad op id %d", id);
-    return ops_[static_cast<size_t>(id)];
-}
-
-Operation &
-Ddg::op(OpId id)
-{
-    DMS_ASSERT(id >= 0 && id < numOps(), "bad op id %d", id);
-    return ops_[static_cast<size_t>(id)];
-}
-
-const Edge &
-Ddg::edge(EdgeId e) const
-{
-    DMS_ASSERT(e >= 0 && e < numEdges(), "bad edge id %d", e);
-    return edges_[static_cast<size_t>(e)];
-}
-
-Edge &
-Ddg::edge(EdgeId e)
-{
-    DMS_ASSERT(e >= 0 && e < numEdges(), "bad edge id %d", e);
-    return edges_[static_cast<size_t>(e)];
-}
-
-bool
-Ddg::edgeActive(EdgeId e) const
-{
-    const Edge &ed = edge(e);
-    return !ed.dead && !ed.replaced;
-}
-
 std::vector<OpId>
 Ddg::liveOps() const
 {

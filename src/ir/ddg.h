@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ir/opcode.h"
+#include "support/diag.h"
 #include "support/types.h"
 
 namespace dms {
@@ -189,6 +190,12 @@ class Ddg
     /** Live (non-tombstoned) operation count. */
     int liveOpCount() const { return live_ops_; }
 
+    /**
+     * Op/edge accessors are defined inline (below the class): the
+     * scheduler inner loop hits them millions of times per run and
+     * the call overhead dominated the hot-path profile when they
+     * lived in ddg.cc. The bounds asserts survive NDEBUG.
+     */
     const Operation &op(OpId id) const;
     Operation &op(OpId id);
     const Edge &edge(EdgeId e) const;
@@ -251,6 +258,41 @@ class Ddg
     int unroll_factor_ = 1;
     DdgListener *listener_ = nullptr;
 };
+
+inline const Operation &
+Ddg::op(OpId id) const
+{
+    DMS_ASSERT(id >= 0 && id < numOps(), "bad op id %d", id);
+    return ops_[static_cast<size_t>(id)];
+}
+
+inline Operation &
+Ddg::op(OpId id)
+{
+    DMS_ASSERT(id >= 0 && id < numOps(), "bad op id %d", id);
+    return ops_[static_cast<size_t>(id)];
+}
+
+inline const Edge &
+Ddg::edge(EdgeId e) const
+{
+    DMS_ASSERT(e >= 0 && e < numEdges(), "bad edge id %d", e);
+    return edges_[static_cast<size_t>(e)];
+}
+
+inline Edge &
+Ddg::edge(EdgeId e)
+{
+    DMS_ASSERT(e >= 0 && e < numEdges(), "bad edge id %d", e);
+    return edges_[static_cast<size_t>(e)];
+}
+
+inline bool
+Ddg::edgeActive(EdgeId e) const
+{
+    const Edge &ed = edge(e);
+    return !ed.dead && !ed.replaced;
+}
 
 } // namespace dms
 

@@ -76,12 +76,6 @@ MachineModel::custom(int clusters, RegFileKind rf_kind,
 }
 
 int
-MachineModel::fusPerCluster(FuClass cls) const
-{
-    return fus_per_cluster_[static_cast<int>(cls)];
-}
-
-int
 MachineModel::totalFus(FuClass cls) const
 {
     return fusPerCluster(cls) * num_clusters_;

@@ -105,8 +105,13 @@ class MachineModel
     bool clustered() const { return rf_kind_ == RegFileKind::Queues; }
     RegFileKind regFileKind() const { return rf_kind_; }
 
-    /** FUs of one class inside one cluster. */
-    int fusPerCluster(FuClass cls) const;
+    /** FUs of one class inside one cluster. Inline: hit on every
+     * reservation-table probe of the scheduler inner loop. */
+    int
+    fusPerCluster(FuClass cls) const
+    {
+        return fus_per_cluster_[static_cast<int>(cls)];
+    }
 
     /** Total FUs of one class across the machine. */
     int totalFus(FuClass cls) const;

@@ -20,7 +20,7 @@ namespace {
 /** Scratch arenas reused across the whole II ladder of one run. */
 struct ImsArena
 {
-    Heights heights;
+    HeightLadder ladder;
     Worklist worklist;
     std::vector<OpId> evicted;
     std::vector<OpId> violated;
@@ -31,8 +31,14 @@ imsPass(const Ddg &ddg, int ii, long budget,
         const std::vector<ClusterId> *assignment,
         PartialSchedule &ps, ImsArena &arena, long &used)
 {
-    computeHeights(ddg, ii, arena.heights);
-    arena.worklist.build(ddg, arena.heights);
+    // Delta-step the height table from the previous II instead of
+    // re-relaxing the whole graph; divergence means this II is
+    // below the true RecMII (a hostile knownRecMii hint), which is
+    // a failed attempt — the ladder recovers at a legal II.
+    if (!arena.ladder.ensure(ddg, ii))
+        return false;
+    const Heights &heights = arena.ladder.heights();
+    arena.worklist.build(ddg, heights);
 
     while (ps.scheduledCount() < ddg.liveOpCount()) {
         if (budget-- <= 0)
@@ -56,7 +62,7 @@ imsPass(const Ddg &ddg, int ii, long budget,
             slot = ps.forcedSlot(op, early);
 
         arena.evicted.clear();
-        ps.placeEvicting(op, slot, cluster, arena.heights,
+        ps.placeEvicting(op, slot, cluster, heights,
                          arena.evicted);
         for (OpId v : arena.evicted)
             arena.worklist.push(v);

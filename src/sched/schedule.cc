@@ -29,52 +29,6 @@ PartialSchedule::reset(int ii)
     max_time_dirty_ = false;
 }
 
-void
-PartialSchedule::ensureSize(OpId op) const
-{
-    size_t need = static_cast<size_t>(op) + 1;
-    if (placements_.size() < need) {
-        placements_.resize(need);
-        last_time_.resize(need, kUnscheduled);
-        times_placed_.resize(need, 0);
-        seen_epoch_.resize(need, 0);
-    }
-}
-
-bool
-PartialSchedule::isScheduled(OpId op) const
-{
-    ensureSize(op);
-    return placements_[static_cast<size_t>(op)].scheduled();
-}
-
-Cycle
-PartialSchedule::timeOf(OpId op) const
-{
-    ensureSize(op);
-    const Placement &p = placements_[static_cast<size_t>(op)];
-    DMS_ASSERT(p.scheduled(), "timeOf unscheduled %s",
-               ddg_->opLabel(op).c_str());
-    return p.time;
-}
-
-ClusterId
-PartialSchedule::clusterOf(OpId op) const
-{
-    ensureSize(op);
-    const Placement &p = placements_[static_cast<size_t>(op)];
-    DMS_ASSERT(p.scheduled(), "clusterOf unscheduled %s",
-               ddg_->opLabel(op).c_str());
-    return p.cluster;
-}
-
-const Placement &
-PartialSchedule::placement(OpId op) const
-{
-    ensureSize(op);
-    return placements_[static_cast<size_t>(op)];
-}
-
 Cycle
 PartialSchedule::earlyStart(OpId op) const
 {

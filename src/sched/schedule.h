@@ -16,6 +16,7 @@
 
 #include "ir/ddg.h"
 #include "machine/machine.h"
+#include "support/diag.h"
 #include "machine/reservation.h"
 #include "sched/priority.h"
 #include "support/types.h"
@@ -74,6 +75,12 @@ class PartialSchedule
     const MachineModel &machine() const { return machine_; }
     const Ddg &ddg() const { return *ddg_; }
 
+    /**
+     * Placement accessors are defined inline (below the class):
+     * they sit in every scheduler inner loop and the call overhead
+     * showed in the hot-path profile when they lived in
+     * schedule.cc. The scheduled() asserts survive NDEBUG.
+     */
     bool isScheduled(OpId op) const;
     Cycle timeOf(OpId op) const;
     ClusterId clusterOf(OpId op) const;
@@ -189,6 +196,52 @@ class PartialSchedule
 
     PlacementListener *listener_ = nullptr;
 };
+
+inline void
+PartialSchedule::ensureSize(OpId op) const
+{
+    size_t need = static_cast<size_t>(op) + 1;
+    if (placements_.size() < need) {
+        placements_.resize(need);
+        last_time_.resize(need, kUnscheduled);
+        times_placed_.resize(need, 0);
+        seen_epoch_.resize(need, 0);
+    }
+}
+
+inline bool
+PartialSchedule::isScheduled(OpId op) const
+{
+    ensureSize(op);
+    return placements_[static_cast<size_t>(op)].scheduled();
+}
+
+inline Cycle
+PartialSchedule::timeOf(OpId op) const
+{
+    ensureSize(op);
+    const Placement &p = placements_[static_cast<size_t>(op)];
+    DMS_ASSERT(p.scheduled(), "timeOf unscheduled %s",
+               ddg_->opLabel(op).c_str());
+    return p.time;
+}
+
+inline ClusterId
+PartialSchedule::clusterOf(OpId op) const
+{
+    ensureSize(op);
+    const Placement &p = placements_[static_cast<size_t>(op)];
+    DMS_ASSERT(p.scheduled(), "clusterOf unscheduled %s",
+               ddg_->opLabel(op).c_str());
+    return p.cluster;
+}
+
+inline const Placement &
+PartialSchedule::placement(OpId op) const
+{
+    ensureSize(op);
+    return placements_[static_cast<size_t>(op)];
+}
 
 } // namespace dms
 

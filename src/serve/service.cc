@@ -158,6 +158,10 @@ class JobQueue
  * analyze switch is likewise excluded: the audit is observational
  * (it panics rather than producing a different result), so analyzed
  * and plain requests must share one cache entry.
+ *
+ * dms.speculateII is deliberately absent: the speculative and the
+ * serial II ladder produce bit-identical artifacts, so requests
+ * differing only in that knob must share one entry too.
  */
 std::string
 optionsKeyPart(const PipelineOptions &po)

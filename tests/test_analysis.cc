@@ -212,6 +212,7 @@ TEST(CheckRegistry, AllIdsRegisteredAndSorted)
         "sched.chain-broken",
         "sched.comm-hop",
         "sched.dep-latency",
+        "sched.height-consistency",
         "sched.ii-lower-bound",
         "sched.move-shape",
         "sched.resource-overuse",
@@ -427,6 +428,44 @@ TEST(SeededSchedule, DepLatency)
     in.schedule = &bad;
     const DiagnosticSink sink = runInput(in);
     EXPECT_TRUE(fired(sink, "sched.dep-latency"));
+}
+
+TEST(SeededSchedule, HeightConsistency)
+{
+    // A body with a real recurrence (acc = acc * x + y), compiled
+    // honestly, then audited at an II below the recurrence bound:
+    // the independent height relaxation must detect the
+    // positive-weight cycle that the resource-only II check cannot.
+    LoopBuilder b;
+    OpId ld = b.load(0);
+    OpId ml = b.mul1(ld);
+    OpId ad = b.add1(ml);
+    b.flow(ad, ml, 1, 1);
+    b.store(1, ad);
+    Loop loop;
+    loop.name = "recurrence";
+    loop.ddg = b.take();
+
+    MachineModel machine = MachineModel::clusteredRing(2);
+    PipelineOptions po;
+    po.scheduler = "dms";
+    po.perf = false;
+    Pipeline pipeline(po);
+    CompilationContext ctx;
+    ASSERT_TRUE(pipeline.run(loop, machine, ctx));
+    ScheduleView view = viewOf(*ctx.result.sched.schedule);
+
+    AnalysisInput in;
+    in.machine = &machine;
+    in.ddg = &ctx.scheduledDdg();
+    in.schedule = &view;
+    EXPECT_FALSE(fired(runInput(in), "sched.height-consistency"));
+
+    ScheduleView bad = view;
+    bad.ii = 1;
+    ASSERT_LT(bad.ii, view.ii);
+    in.schedule = &bad;
+    EXPECT_TRUE(fired(runInput(in), "sched.height-consistency"));
 }
 
 TEST(SeededSchedule, IiLowerBound)
@@ -776,6 +815,28 @@ TEST(Coverage, EverySeededDefectUnionCoversAllChecks)
         ddg.removeEdge(e_in);
         ddg.removeEdge(e_out);
         ddg.removeOp(mv);
+        absorb(runInput(in));
+    }
+    {
+        // Recurrence audited below its recurrence-imposed minimum
+        // II: height relaxation cannot converge.
+        LoopBuilder b;
+        const OpId ld = b.load(0);
+        const OpId ml = b.mul1(ld);
+        const OpId ad = b.add1(ml);
+        b.flow(ad, ml, 1, 1);
+        const OpId st = b.store(1, ad);
+        Ddg ddg = b.take();
+        ScheduleView view;
+        view.ii = 1;
+        view.placements.resize(static_cast<size_t>(ddg.numOps()));
+        view.placements[static_cast<size_t>(ld)] = {0, 0, 0};
+        view.placements[static_cast<size_t>(ml)] = {2, 0, 0};
+        view.placements[static_cast<size_t>(ad)] = {5, 0, 0};
+        view.placements[static_cast<size_t>(st)] = {6, 0, 0};
+        AnalysisInput in;
+        in.ddg = &ddg;
+        in.schedule = &view;
         absorb(runInput(in));
     }
     {

@@ -15,8 +15,11 @@
 #include <gtest/gtest.h>
 
 #include "codegen/emit.h"
+#include "core/dms.h"
 #include "eval/runner.h"
 #include "machine/desc.h"
+#include "sched/mii.h"
+#include "sched/scheduler.h"
 #include "serve/cache.h"
 #include "serve/service.h"
 #include "support/strings.h"
@@ -364,6 +367,96 @@ TEST(Serve, MatrixViaServiceBitIdentical)
     EXPECT_EQ(after_second.misses, after_first.misses);
     EXPECT_EQ(after_second.hits - after_first.hits,
               after_first.misses);
+}
+
+/**
+ * DMS behind a deliberately corrupt RecMII hint: the regression
+ * shape for the computeHeights budget-exhaustion panic. A hostile
+ * knownRecMii below the true RecMII used to drive height relaxation
+ * into its divergence budget and fatal() the worker — killing the
+ * whole daemon. It must instead surface as a failed attempt
+ * (recovered at a legal II) or, with a capped ladder, as a
+ * structured Unschedulable result.
+ */
+class HostileHintScheduler : public Scheduler
+{
+  public:
+    const char *name() const override { return "hostile-hints"; }
+
+    bool
+    supports(const MachineModel &machine) const override
+    {
+        return machine.clustered();
+    }
+
+    SchedulerResult
+    schedule(const Ddg &body, const MachineModel &machine,
+             const SchedulerConfig &config) override
+    {
+        DmsParams params = config.dms;
+        params.knownRecMii = 1; // the lie: true RecMII is larger
+        DmsOutcome out = scheduleDms(body, machine, params);
+        SchedulerResult result;
+        result.sched = std::move(out.sched);
+        result.ddg = std::move(out.ddg);
+        return result;
+    }
+};
+
+std::unique_ptr<Scheduler>
+makeHostileHintScheduler()
+{
+    return std::make_unique<HostileHintScheduler>();
+}
+
+TEST(Serve, HostileMiiHintIsRecoverableNotFatal)
+{
+    SchedulerRegistry::instance().add("hostile-hints",
+                                      &makeHostileHintScheduler);
+
+    // acc = acc * x + y: the two-op recurrence puts the true RecMII
+    // (mul + add latency) well above the resource bound the hostile
+    // hint lets the ladder start from.
+    LoopBuilder b;
+    OpId ld = b.load(0);
+    OpId ml = b.mul1(ld);
+    OpId ad = b.add1(ml);
+    b.flow(ad, ml, 1, 1);
+    b.store(1, ad);
+    Loop loop;
+    loop.name = "hostile";
+    loop.ddg = b.take();
+    const int rec = recMii(loop.ddg);
+    ASSERT_GT(rec, 1);
+
+    ServeOptions so;
+    so.workers = 1;
+    CompileService service(so);
+    MachineModel machine = MachineModel::clusteredRing(2);
+
+    PipelineOptions po;
+    po.scheduler = "hostile-hints";
+
+    // Uncapped ladder: the early rungs diverge (II below RecMII)
+    // but count as failed attempts, and the ladder succeeds at a
+    // legal II instead of taking the process down.
+    CompileService::ResultPtr ok =
+        service.compile(makeRequest(loop, machine, po));
+    ASSERT_EQ(ok->status, CompileStatus::Ok);
+    EXPECT_GE(ok->run.ii, rec);
+
+    // Ladder capped below the true RecMII: every rung diverges and
+    // the request resolves as structured Unschedulable.
+    po.config.dms.maxII = rec - 1;
+    CompileService::ResultPtr failed =
+        service.compile(makeRequest(loop, machine, po));
+    EXPECT_EQ(failed->status, CompileStatus::Unschedulable);
+    EXPECT_FALSE(failed->ok);
+
+    // The daemon survived: an ordinary request still compiles.
+    CompileService::ResultPtr after =
+        service.compile(kernelRequest("daxpy"));
+    EXPECT_EQ(after->status, CompileStatus::Ok);
 }
 
 } // namespace
