@@ -14,26 +14,95 @@
  *   mixed  the zipf mix from concurrent clients: the serving
  *          steady state, with hit rate and p50/p99 latency.
  *
+ *   network the same mix through the TCP front-end (serve/net.h):
+ *          a loopback NetServer on an ephemeral port, hammered by
+ *          socket clients at several client counts — rps, hit
+ *          rate, p50/p99 and mean request-line size per point,
+ *          the b_eff-style sweep of the wire.
+ *
  * Knobs: DMS_SUITE_COUNT (cold pool size, default 200),
  * DMS_SERVE_CLIENTS (client threads, default 4),
  * DMS_SERVE_MIN_SPEEDUP (gate: warm rps must be at least this
  * multiple of cold rps, default 10; the acceptance floor).
+ *
+ * Regression gate: when DMS_SERVE_BASELINE names a previous
+ * BENCH_serve.json, the run fails (exit 1) if warm rps drops more
+ * than DMS_SERVE_MAX_DROP percent (default 15) below it — the CI
+ * perf-gate job runs merge-base and head back to back and points
+ * this at the base run's file, mirroring DMS_HOTPATH_BASELINE.
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "eval/runner.h"
 #include "machine/desc.h"
 #include "serve/loadgen.h"
+#include "serve/net.h"
 #include "serve/service.h"
 #include "support/diag.h"
 #include "support/faultinject.h"
 #include "support/strings.h"
 #include "workload/suite.h"
 #include "workload/text.h"
+
+namespace {
+
+using namespace dms;
+
+/** One network sweep point. */
+struct NetPoint
+{
+    int clients = 0;
+    int requests = 0;
+    double rps = 0;
+    double hitRate = 0;
+    double p50Ms = 0;
+    double p99Ms = 0;
+    double msgBytes = 0; ///< mean request-line size on the wire
+};
+
+/**
+ * Extract warm.rps from a baseline BENCH_serve.json (string scan;
+ * the file is our own single-line emission). Negative when absent.
+ */
+double
+baselineWarmRps(const std::string &json)
+{
+    const size_t at = json.find("\"warm\":{");
+    if (at == std::string::npos)
+        return -1.0;
+    const char *field = "\"rps\":";
+    const size_t val = json.find(field, at);
+    if (val == std::string::npos)
+        return -1.0;
+    return std::strtod(json.c_str() + val + std::strlen(field),
+                       nullptr);
+}
+
+int
+maxDropPercentFromEnv()
+{
+    const char *s = std::getenv("DMS_SERVE_MAX_DROP");
+    if (s == nullptr)
+        return 15;
+    int v = 0;
+    if (!parseInt(s, v) || v >= 100) {
+        warn("DMS_SERVE_MAX_DROP='%s' is not a percentage below "
+             "100; using 15",
+             s);
+        return 15;
+    }
+    return v;
+}
+
+} // namespace
 
 int
 main()
@@ -190,6 +259,64 @@ main()
             shed_rate * 100.0, degraded.retries, degraded.p99Ms);
     }
 
+    // --- network: the same mix through the TCP front-end --------
+    // One loopback daemon, swept over client counts; hit rate and
+    // mean request-line size come from the server's own counter
+    // deltas, latency is measured client-side per round trip.
+    std::vector<NetPoint> net_points;
+    {
+        CompileService nservice;
+        NetServer server(nservice);
+        std::string nerr;
+        bool net_up = server.start(nerr);
+        DMS_ASSERT(net_up, "network phase: %s", nerr.c_str());
+        const int sweep[] = {1, std::max(clients, 2)};
+        const int net_requests = std::max(400, cold_requests);
+        for (size_t pt = 0; pt < 2; ++pt) {
+            const int nc = sweep[pt];
+            const ServeStats before = server.stats();
+            HammerResult run = hammerNetwork(
+                "127.0.0.1", server.port(), net_requests, nc,
+                machine_text, "dms",
+                kSeed + 40 + static_cast<std::uint64_t>(nc),
+                [&](int i, Rng &rng) -> std::string {
+                    if (rng.range(1, 100) <= 75)
+                        return hot_texts[zipf.pick(rng)];
+                    return coldLoopText(
+                        kSeed ^ (0xbeefULL + pt), i);
+                });
+            const ServeStats after = server.stats();
+            NetPoint point;
+            point.clients = nc;
+            point.requests = run.requests;
+            point.rps = run.rps();
+            point.hitRate =
+                static_cast<double>((after.hits - before.hits) +
+                                    (after.coalesced -
+                                     before.coalesced)) /
+                static_cast<double>(std::max(run.requests, 1));
+            point.p50Ms = run.p50Ms;
+            point.p99Ms = run.p99Ms;
+            const std::uint64_t line_count =
+                after.netRequests - before.netRequests;
+            point.msgBytes =
+                line_count > 0
+                    ? static_cast<double>(after.netBytesIn -
+                                          before.netBytesIn) /
+                          static_cast<double>(line_count)
+                    : 0.0;
+            std::printf(
+                "network: %d clients, %d requests in %.3f s = "
+                "%.0f req/s, hit rate %.1f%%, p50 %.3f ms, "
+                "p99 %.3f ms, %.0f B/req\n",
+                nc, run.requests, run.seconds, point.rps,
+                point.hitRate * 100.0, point.p50Ms, point.p99Ms,
+                point.msgBytes);
+            net_points.push_back(point);
+        }
+        server.stop();
+    }
+
     std::string json = "{";
     json += "\"bench\":\"serve_throughput\",";
     json += strfmt("\"clients\":%d,", clients);
@@ -219,6 +346,17 @@ main()
         static_cast<unsigned long long>(
             degraded_stats.quarantined),
         degraded.retries);
+    json += "\"network\":[";
+    for (size_t pt = 0; pt < net_points.size(); ++pt) {
+        const NetPoint &p = net_points[pt];
+        json += strfmt(
+            "%s{\"clients\":%d,\"requests\":%d,\"rps\":%.1f,"
+            "\"hit_rate\":%.4f,\"p50_ms\":%.4f,\"p99_ms\":%.4f,"
+            "\"msg_bytes\":%.1f}",
+            pt == 0 ? "" : ",", p.clients, p.requests, p.rps,
+            p.hitRate, p.p50Ms, p.p99Ms, p.msgBytes);
+    }
+    json += "],";
     json += strfmt("\"warm_vs_cold\":%.1f}",
                    warm_rps / cold_rps);
 
@@ -242,5 +380,38 @@ main()
     }
     std::printf("gate: warm/cold = %.1fx (>= %dx) ok\n",
                 warm_rps / cold_rps, min_speedup);
+
+    // Relative gate against a previous run of this bench (the CI
+    // perf-gate job builds the merge base in a worktree, runs it,
+    // and points DMS_SERVE_BASELINE at its BENCH_serve.json).
+    if (const char *bp = std::getenv("DMS_SERVE_BASELINE")) {
+        std::ifstream in(bp);
+        if (!in) {
+            warn("DMS_SERVE_BASELINE '%s' unreadable; skipping "
+                 "gate",
+                 bp);
+            return 0;
+        }
+        std::stringstream ss;
+        ss << in.rdbuf();
+        const double base = baselineWarmRps(ss.str());
+        if (base <= 0) {
+            warn("baseline has no warm rps; skipping gate");
+            return 0;
+        }
+        const int max_drop = maxDropPercentFromEnv();
+        const double floor = base * (100 - max_drop) / 100.0;
+        if (warm_rps < floor) {
+            std::fprintf(stderr,
+                         "FAIL: warm %.0f req/s is more than "
+                         "%d%% below baseline %.0f (floor "
+                         "%.0f)\n",
+                         warm_rps, max_drop, base, floor);
+            return 1;
+        }
+        std::printf("gate: warm %.0f req/s vs baseline %.0f "
+                    "(floor %.0f) ok\n",
+                    warm_rps, base, floor);
+    }
     return 0;
 }

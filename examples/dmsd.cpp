@@ -9,6 +9,14 @@
  * Usage:
  *   dmsd [options] --script FILE     serve requests from a script
  *   dmsd [options] --load N          built-in load generator
+ *   dmsd [options] --listen PORT     TCP daemon (serve/net.h wire
+ *                                    protocol; 0 = ephemeral port;
+ *                                    SIGTERM/SIGINT shut down
+ *                                    cleanly: queue drained, stats
+ *                                    printed, exit 0)
+ *   dmsd [options] --connect HOST:PORT --load N
+ *                                    network client: the same zipf
+ *                                    load generator, over sockets
  *
  * Options:
  *   --workers N    service worker threads (default: DMS_SERVE_WORKERS
@@ -54,13 +62,18 @@
  */
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "machine/desc.h"
 #include "serve/loadgen.h"
+#include "serve/net.h"
 #include "serve/service.h"
 #include "support/diag.h"
 #include "support/faultinject.h"
@@ -107,9 +120,8 @@ sourceName(CompileService::Source s)
 }
 
 void
-printStats(const CompileService &service)
+printStatsSnapshot(const ServeStats &s)
 {
-    ServeStats s = service.stats();
     std::printf("serve: %llu requests, %llu hits, %llu coalesced, "
                 "%llu cold, %llu invalid (hit rate %.1f%%)\n",
                 static_cast<unsigned long long>(s.requests),
@@ -134,6 +146,16 @@ printStats(const CompileService &service)
             static_cast<unsigned long long>(s.quarantined),
             s.degraded ? " [degraded]" : "");
     }
+    if (s.netConnections > 0) {
+        std::printf(
+            "net: %llu connections, %llu requests, %llu framing "
+            "rejects, %llu bytes in, %llu bytes out\n",
+            static_cast<unsigned long long>(s.netConnections),
+            static_cast<unsigned long long>(s.netRequests),
+            static_cast<unsigned long long>(s.netFramingRejects),
+            static_cast<unsigned long long>(s.netBytesIn),
+            static_cast<unsigned long long>(s.netBytesOut));
+    }
     if (faultsArmed()) {
         std::printf("injected: %llu faults across %zu sites\n",
                     static_cast<unsigned long long>(
@@ -156,6 +178,12 @@ printStats(const CompileService &service)
                     static_cast<unsigned long long>(
                         s.latencySamples));
     }
+}
+
+void
+printStats(const CompileService &service)
+{
+    printStatsSnapshot(service.stats());
 }
 
 /** Shared request skeleton: current machine text and scheduler. */
@@ -339,6 +367,137 @@ runLoadGenerator(CompileService &service, int total, int clients,
     return res.failures == 0 ? 0 : 1;
 }
 
+/** SIGTERM/SIGINT flag for the --listen loop. */
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void
+onShutdownSignal(int)
+{
+    g_shutdown = 1;
+}
+
+int
+runDaemon(CompileService &service, int port,
+          const std::string &stats_out)
+{
+    NetServerOptions nopts;
+    nopts.port = port;
+    NetServer server(service, nopts);
+    std::string error;
+    if (!server.start(error))
+        fatal("listen: %s", error.c_str());
+    std::printf("dmsd: listening on 127.0.0.1:%d\n",
+                server.port());
+    std::fflush(stdout);
+
+    std::signal(SIGTERM, onShutdownSignal);
+    std::signal(SIGINT, onShutdownSignal);
+    while (g_shutdown == 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(50));
+    }
+
+    // Clean shutdown: stop accepting, finish in-flight request
+    // lines, join every connection; the service destructor then
+    // drains the compile queue. Exit 0 is the contract CI greps.
+    server.stop();
+    ServeStats s = server.stats();
+    printStatsSnapshot(s);
+    if (!stats_out.empty()) {
+        std::FILE *f = std::fopen(stats_out.c_str(), "w");
+        if (f == nullptr)
+            fatal("cannot write '%s'", stats_out.c_str());
+        std::fputs(serveStatsToText(s).c_str(), f);
+        std::fclose(f);
+    }
+    return 0;
+}
+
+int
+runNetworkLoadGenerator(const std::string &host, int port,
+                        int total, int clients, int hot_percent,
+                        std::uint64_t seed,
+                        const RequestContext &rc,
+                        const RetryPolicy &policy,
+                        const std::string &stats_out)
+{
+    // The client knows about chaos runs through the same env knob
+    // as the daemon (no CompileService here to arm it for us).
+    armFaultsFromEnv();
+    std::vector<std::string> hot = hotKernelTexts();
+    ZipfPicker zipf(hot.size());
+    HammerResult res = hammerNetwork(
+        host, port, total, clients, rc.machineText, rc.scheduler,
+        seed,
+        [&](int i, Rng &rng) -> std::string {
+            if (rng.range(1, 100) <= hot_percent)
+                return hot[zipf.pick(rng)];
+            return coldLoopText(seed, i);
+        },
+        policy);
+
+    std::printf("load: %d requests from %d clients (%d%% hot mix)"
+                ", %d failures, %d retries\n",
+                res.requests, clients, hot_percent, res.failures,
+                res.retries);
+    std::printf("status: %d ok, %d unschedulable, %d invalid, "
+                "%d failed, %d expired, %d rejected, "
+                "%d quarantined\n",
+                res.count(CompileStatus::Ok),
+                res.count(CompileStatus::Unschedulable),
+                res.count(CompileStatus::Invalid),
+                res.count(CompileStatus::Failed),
+                res.count(CompileStatus::Expired),
+                res.count(CompileStatus::Rejected),
+                res.count(CompileStatus::Quarantined));
+    int resolved = 0;
+    for (size_t st = 0; st < 7; ++st)
+        resolved += res.byStatus[st];
+    std::printf("network: %d/%d requests terminal, %.1f rps, "
+                "p50 %.3f ms, p99 %.3f ms\n",
+                resolved, res.requests, res.rps(), res.p50Ms,
+                res.p99Ms);
+
+    // Pull the daemon's stats over the wire: the same snapshot the
+    // `stats` verb serves, so the hit-rate lines CI greps (and the
+    // --stats-out artifact dmslint audits) come from the server's
+    // counters, not the client's.
+    NetClient nc;
+    std::string error;
+    if (!nc.connect(host, port, 5000, error)) {
+        warn("stats fetch: %s", error.c_str());
+    } else {
+        std::string text;
+        if (!nc.fetchStats(text, error)) {
+            warn("stats fetch: %s", error.c_str());
+        } else {
+            ServeStats s;
+            std::string perr;
+            if (serveStatsFromText(text, s, perr))
+                printStatsSnapshot(s);
+            else
+                warn("stats fetch: %s", perr.c_str());
+            if (!stats_out.empty()) {
+                std::FILE *f =
+                    std::fopen(stats_out.c_str(), "w");
+                if (f == nullptr)
+                    fatal("cannot write '%s'",
+                          stats_out.c_str());
+                std::fputs(text.c_str(), f);
+                std::fclose(f);
+            }
+        }
+    }
+
+    // Every dispatched request must have resolved to exactly one
+    // terminal status — the invariant the chaos smoke asserts.
+    if (resolved != res.requests)
+        return 1;
+    if (faultsArmed())
+        return res.count(CompileStatus::Invalid) == 0 ? 0 : 1;
+    return res.failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -353,6 +512,8 @@ main(int argc, char **argv)
     int workers = 0;
     int hot_percent = 75;
     int seed = 42;
+    int listen_port = -1;
+    std::string connect_to;
     RetryPolicy policy;
     std::string stats_out;
 
@@ -395,24 +556,30 @@ main(int argc, char **argv)
             policy.deadlineMs = nextInt();
         else if (a == "--submit-wait-ms")
             policy.submitWaitMs = nextInt();
+        else if (a == "--listen")
+            listen_port = nextInt();
+        else if (a == "--connect")
+            connect_to = next();
         else if (a == "--stats-out")
             stats_out = next();
         else
             fatal("unknown option '%s'", a.c_str());
     }
-    if (script.empty() == (load == 0))
-        fatal("usage: dmsd [options] --script FILE | --load N");
+    if (listen_port >= 0) {
+        if (!script.empty() || load != 0 || !connect_to.empty())
+            fatal("--listen excludes --script/--load/--connect");
+        if (listen_port > 65535)
+            fatal("--listen port %d out of range", listen_port);
+    } else if (!connect_to.empty()) {
+        if (!script.empty() || load == 0)
+            fatal("usage: dmsd [options] --connect HOST:PORT "
+                  "--load N");
+    } else if (script.empty() == (load == 0)) {
+        fatal("usage: dmsd [options] --script FILE | --load N | "
+              "--listen PORT | --connect HOST:PORT --load N");
+    }
 
-    ServeOptions opts = ServeOptions::fromEnv();
-    if (workers > 0)
-        opts.workers = workers;
-    CompileService service(opts);
-    std::printf("dmsd: %d workers, queue depth %d, %d cache "
-                "shards, capacity %d\n",
-                service.workers(), opts.queueDepth, opts.shards,
-                opts.cacheCapacity);
-
-    // --machine/--sched seed both modes; script directives can
+    // --machine/--sched seed every mode; script directives can
     // override them per request block.
     RequestContext rc;
     rc.machineText =
@@ -420,6 +587,37 @@ main(int argc, char **argv)
             ? readFile(machine_file)
             : machineToText(MachineModel::clusteredRing(4));
     rc.scheduler = sched_name;
+
+    if (!connect_to.empty()) {
+        // Network client: no local service at all — the daemon on
+        // the other end owns the workers, queue, and cache.
+        const size_t colon = connect_to.rfind(':');
+        int port = 0;
+        if (colon == std::string::npos ||
+            !parseInt(connect_to.substr(colon + 1), port) ||
+            port <= 0 || port > 65535)
+            fatal("bad --connect target '%s' (want HOST:PORT)",
+                  connect_to.c_str());
+        return runNetworkLoadGenerator(
+            connect_to.substr(0, colon), port, load,
+            std::max(clients, 1),
+            std::clamp(hot_percent, 0, 100),
+            static_cast<std::uint64_t>(seed), rc, policy,
+            stats_out);
+    }
+
+    ServeOptions opts = ServeOptions::fromEnv();
+    if (workers > 0)
+        opts.workers = workers;
+    CompileService service(opts);
+    std::printf("dmsd: %d workers, queue depth %d, %d cache "
+                "shards, capacity %d, %s eviction\n",
+                service.workers(), opts.queueDepth, opts.shards,
+                opts.cacheCapacity,
+                evictPolicyName(opts.eviction));
+
+    if (listen_port >= 0)
+        return runDaemon(service, listen_port, stats_out);
 
     if (!script.empty())
         return runScript(service, script, std::move(rc));

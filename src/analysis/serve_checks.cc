@@ -143,6 +143,46 @@ class StatsConsistencyCheck final : public BuiltinCheck
                  strfmt("latency percentiles are not monotone "
                         "(p50 %.3f, p90 %.3f, p99 %.3f, max %.3f)",
                         s.p50Ms, s.p90Ms, s.p99Ms, s.maxMs));
+
+        // Network front-end identities. Every framing reject is
+        // both a counted request line and routed through the
+        // service as an unparseable (invalid) request.
+        if (s.netFramingRejects > s.netRequests)
+            flag("net_framing_rejects",
+                 strfmt("framing rejects %llu exceed request "
+                        "lines %llu",
+                        static_cast<unsigned long long>(
+                            s.netFramingRejects),
+                        static_cast<unsigned long long>(
+                            s.netRequests)));
+        if (s.netFramingRejects > s.invalid)
+            flag("net_framing_rejects",
+                 strfmt("framing rejects %llu exceed invalid "
+                        "requests %llu, but every framing reject "
+                        "is submitted as an invalid request",
+                        static_cast<unsigned long long>(
+                            s.netFramingRejects),
+                        static_cast<unsigned long long>(
+                            s.invalid)));
+
+        // Request lines only exist on accepted connections, and
+        // every counted line was read off the wire — at least its
+        // newline byte is in net_bytes_in.
+        if (s.netRequests > 0 && s.netConnections == 0)
+            flag("net_requests",
+                 strfmt("%llu request lines arrived over zero "
+                        "connections",
+                        static_cast<unsigned long long>(
+                            s.netRequests)));
+        if (s.netBytesIn < s.netRequests)
+            flag("net_bytes_in",
+                 strfmt("net bytes in %llu is below the request "
+                        "line count %llu (every line carries at "
+                        "least its newline)",
+                        static_cast<unsigned long long>(
+                            s.netBytesIn),
+                        static_cast<unsigned long long>(
+                            s.netRequests)));
     }
 };
 

@@ -17,58 +17,123 @@ fnv1a64(std::string_view s)
     return h;
 }
 
-ResultCache::ResultCache(int shards, int capacity)
-    : shards_(static_cast<size_t>(std::max(shards, 1)))
+const char *
+evictPolicyName(EvictPolicy policy)
+{
+    switch (policy) {
+    case EvictPolicy::Fifo:
+        return "fifo";
+    case EvictPolicy::Lru:
+        return "lru";
+    case EvictPolicy::Cost:
+        return "cost";
+    }
+    return "fifo";
+}
+
+bool
+evictPolicyFromName(std::string_view name, EvictPolicy &out)
+{
+    if (name == "fifo") {
+        out = EvictPolicy::Fifo;
+        return true;
+    }
+    if (name == "lru") {
+        out = EvictPolicy::Lru;
+        return true;
+    }
+    if (name == "cost") {
+        out = EvictPolicy::Cost;
+        return true;
+    }
+    return false;
+}
+
+ResultCache::ResultCache(int shards, int capacity,
+                         EvictPolicy policy)
+    : shards_(static_cast<size_t>(std::max(shards, 1))),
+      policy_(policy)
 {
     int n = static_cast<int>(shards_.size());
     perShardCap_ = std::max(1, (std::max(capacity, 1) + n - 1) / n);
 }
 
-/** Erase @p key from both the map and the FIFO order deque. */
+/** Erase @p key from both the map and the order list. */
 void
 ResultCache::eraseLocked(Shard &shard, const std::string &key)
 {
     auto eit = shard.entries.find(key);
     DMS_ASSERT(eit != shard.entries.end(),
                "cache erase of absent key");
+    shard.order.erase(eit->second.pos);
     shard.entries.erase(eit);
-    auto oit =
-        std::find(shard.order.begin(), shard.order.end(), key);
-    DMS_ASSERT(oit != shard.order.end(),
-               "cache map entry without order entry");
-    shard.order.erase(oit);
 }
 
 /**
- * Over capacity: drop the oldest droppable entry — failed entries
- * (dead aliases of retired compiles, counted under retired()) or
- * ready ones (a real capacity eviction). In-flight entries are
- * pinned — evicting one would let a duplicate request start a
- * second compilation of the same key. Caller holds the shard lock.
+ * Refresh @p slot's recency. Only the Lru policy keeps the order
+ * list access-ordered; Fifo and Cost leave it in insertion order
+ * (Cost ranks by measured latency and uses position only as a
+ * tiebreak). Caller holds the shard lock.
+ */
+void
+ResultCache::touchLocked(Shard &shard, Slot &slot)
+{
+    if (policy_ != EvictPolicy::Lru)
+        return;
+    shard.order.splice(shard.order.end(), shard.order, slot.pos);
+}
+
+/**
+ * Over capacity: drop one droppable entry. Failed entries (dead
+ * aliases of retired compiles, counted under retired()) always go
+ * first regardless of policy — they are garbage, not cached value.
+ * Otherwise the victim among ready entries is chosen by policy:
+ * Fifo/Lru take the front of the order list (insertion order vs
+ * access order), Cost scans for the minimum measured compile
+ * latency. In-flight entries are pinned — evicting one would let a
+ * duplicate request start a second compilation of the same key.
+ * Caller holds the shard lock.
  */
 void
 ResultCache::evictIfFull(Shard &shard)
 {
     if (shard.entries.size() < static_cast<size_t>(perShardCap_))
         return;
+
+    auto victim = shard.order.end();
+    double victimCost = 0.0;
     for (auto oit = shard.order.begin(); oit != shard.order.end();
          ++oit) {
         auto eit = shard.entries.find(*oit);
         DMS_ASSERT(eit != shard.entries.end(),
                    "cache order entry without map entry");
-        if (eit->second->failed.load(std::memory_order_acquire)) {
+        const CacheEntry &e = *eit->second.entry;
+        if (e.failed.load(std::memory_order_acquire)) {
             shard.entries.erase(eit);
             shard.order.erase(oit);
             retired_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        if (!e.ready.load(std::memory_order_acquire))
+            continue; // in-flight: pinned
+        if (policy_ != EvictPolicy::Cost) {
+            // Fifo and Lru both want the frontmost droppable
+            // entry; the policies differ only in how accesses
+            // reorder the list.
+            victim = oit;
             break;
         }
-        if (eit->second->ready.load(std::memory_order_acquire)) {
-            shard.entries.erase(eit);
-            shard.order.erase(oit);
-            evictions_.fetch_add(1, std::memory_order_relaxed);
-            break;
+        double cost = e.costMs.load(std::memory_order_relaxed);
+        if (victim == shard.order.end() || cost < victimCost) {
+            victim = oit;
+            victimCost = cost;
         }
     }
+    if (victim == shard.order.end())
+        return; // everything in-flight; transiently over cap
+    shard.entries.erase(*victim);
+    shard.order.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 ResultCache::Lookup
@@ -80,13 +145,15 @@ ResultCache::acquire(const std::string &key, std::uint64_t hash,
 
     auto it = shard.entries.find(key);
     if (it != shard.entries.end()) {
-        if (it->second->failed.load(std::memory_order_acquire)) {
+        if (it->second.entry->failed.load(
+                std::memory_order_acquire)) {
             // Lazy reclamation: the resident entry's compile
             // failed, so this request retries with a fresh entry.
             eraseLocked(shard, key);
             retired_.fetch_add(1, std::memory_order_relaxed);
         } else {
-            entry = it->second;
+            entry = it->second.entry;
+            touchLocked(shard, it->second);
             return entry->ready.load(std::memory_order_acquire)
                        ? Lookup::Hit
                        : Lookup::InFlight;
@@ -95,21 +162,22 @@ ResultCache::acquire(const std::string &key, std::uint64_t hash,
 
     evictIfFull(shard);
     entry = std::make_shared<CacheEntry>();
-    shard.entries.emplace(key, entry);
-    shard.order.push_back(key);
+    auto pos = shard.order.insert(shard.order.end(), key);
+    shard.entries.emplace(key, Slot{entry, pos});
     return Lookup::Inserted;
 }
 
 std::shared_ptr<CacheEntry>
-ResultCache::find(const std::string &key, std::uint64_t hash) const
+ResultCache::find(const std::string &key, std::uint64_t hash)
 {
-    const Shard &shard = shards_[hash % shards_.size()];
+    Shard &shard = shards_[hash % shards_.size()];
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.entries.find(key);
     if (it == shard.entries.end() ||
-        it->second->failed.load(std::memory_order_acquire))
+        it->second.entry->failed.load(std::memory_order_acquire))
         return nullptr;
-    return it->second;
+    touchLocked(shard, it->second);
+    return it->second.entry;
 }
 
 void
@@ -122,7 +190,7 @@ ResultCache::retire(const std::string &key, std::uint64_t hash,
     // Identity compare: a retrying request may already have
     // replaced the slot with a fresh entry we must not clobber
     // (and acquire may have lazily reclaimed this one already).
-    if (it == shard.entries.end() || it->second != entry)
+    if (it == shard.entries.end() || it->second.entry != entry)
         return;
     eraseLocked(shard, key);
     retired_.fetch_add(1, std::memory_order_relaxed);
@@ -137,8 +205,8 @@ ResultCache::insertAlias(const std::string &key, std::uint64_t hash,
     if (shard.entries.count(key))
         return;
     evictIfFull(shard);
-    shard.entries.emplace(key, std::move(entry));
-    shard.order.push_back(key);
+    auto pos = shard.order.insert(shard.order.end(), key);
+    shard.entries.emplace(key, Slot{std::move(entry), pos});
 }
 
 std::uint64_t

@@ -15,17 +15,31 @@
  * per map probe — equality is always on the full key, so hash
  * collisions cannot alias two different requests.
  *
- * Capacity is enforced per shard with FIFO eviction of *ready*
- * entries only: evicting an in-flight entry would break the
- * coalescing guarantee, so a shard may transiently exceed its cap
- * when everything in it is still compiling. (A smarter eviction
- * policy — LRU, cost-aware — is a recorded follow-up.)
+ * Capacity is enforced per shard with a pluggable eviction policy
+ * (EvictPolicy) over *droppable* entries only — failed entries
+ * (dead aliases of retired compiles) always go first, then ready
+ * ones per policy:
+ *
+ *   - Fifo: drop the oldest insertion (the pre-policy behavior);
+ *   - Lru:  drop the least recently *used* — every hit refreshes
+ *           an entry's recency, so a hot key survives arbitrary
+ *           cold churn;
+ *   - Cost: drop the cheapest-to-recompute ready entry — cost is
+ *           the measured compile latency the worker stamps on the
+ *           entry (CacheEntry::costMs), so an expensive schedule
+ *           is kept over many trivial ones.
+ *
+ * In-flight entries are never evicted under any policy: evicting
+ * one would break the coalescing guarantee, so a shard may
+ * transiently exceed its cap when everything in it is still
+ * compiling. Whatever the policy, the conservation law
+ * inserted == size() + evictions() + retired() holds exactly.
  */
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -39,6 +53,19 @@ struct CompileResult;
 
 /** FNV-1a over bytes; the shard/bucket hash of the result cache. */
 std::uint64_t fnv1a64(std::string_view s);
+
+/** Which ready entry goes when a shard is over capacity. */
+enum class EvictPolicy : std::uint8_t {
+    Fifo, ///< oldest insertion first
+    Lru,  ///< least recently used first
+    Cost, ///< cheapest measured compile first
+};
+
+/** Lowercase policy name, e.g. "lru". */
+const char *evictPolicyName(EvictPolicy policy);
+
+/** Parse "fifo"/"lru"/"cost"; false on anything else. */
+bool evictPolicyFromName(std::string_view name, EvictPolicy &out);
 
 /**
  * One memo slot: a single-flight rendezvous that becomes a cached
@@ -63,6 +90,14 @@ struct CacheEntry
      * so the next request for the key retries the compile.
      */
     std::atomic<bool> failed{false};
+
+    /**
+     * Measured compile latency in milliseconds, stamped by the
+     * worker before ready flips. The Cost eviction policy reads it
+     * to keep expensive schedules resident; 0 until a compile
+     * finishes (an in-flight entry is pinned anyway).
+     */
+    std::atomic<double> costMs{0.0};
 };
 
 /** Sharded single-flight memo map. */
@@ -79,12 +114,15 @@ class ResultCache
     /**
      * @param shards   number of independent shards (>= 1)
      * @param capacity total ready-entry capacity across shards
+     * @param policy   which ready entry goes when over capacity
      */
-    ResultCache(int shards, int capacity);
+    ResultCache(int shards, int capacity,
+                EvictPolicy policy = EvictPolicy::Fifo);
 
     /**
      * Find or create the entry for @p key (@p hash must be
-     * fnv1a64(key)). @p entry is always filled on return.
+     * fnv1a64(key)). @p entry is always filled on return. A Hit
+     * refreshes the entry's recency under the Lru policy.
      */
     Lookup acquire(const std::string &key, std::uint64_t hash,
                    std::shared_ptr<CacheEntry> &entry);
@@ -92,12 +130,13 @@ class ResultCache
     /**
      * Find the entry for @p key without creating one; nullptr when
      * absent *or failed* (a failed entry is logically gone — it is
-     * physically reclaimed by retire/acquire/eviction). The
-     * raw-text fast path of the service probes its alias map with
-     * this before paying for canonicalization.
+     * physically reclaimed by retire/acquire/eviction). A found
+     * ready entry is refreshed under Lru, exactly like acquire —
+     * the raw-text fast path of the service probes its alias map
+     * with this before paying for canonicalization.
      */
     std::shared_ptr<CacheEntry> find(const std::string &key,
-                                     std::uint64_t hash) const;
+                                     std::uint64_t hash);
 
     /**
      * Eagerly reclaim a failed @p entry under @p key. Erases only
@@ -110,7 +149,7 @@ class ResultCache
 
     /**
      * Map @p key to an @p entry owned elsewhere (capacity-bounded,
-     * same FIFO eviction as acquire). Used for raw-spelling
+     * same eviction policy as acquire). Used for raw-spelling
      * aliases of a canonical entry; inserting an existing key is a
      * no-op.
      */
@@ -132,21 +171,38 @@ class ResultCache
         return retired_.load(std::memory_order_relaxed);
     }
 
+    EvictPolicy policy() const { return policy_; }
+
   private:
+    struct Slot
+    {
+        std::shared_ptr<CacheEntry> entry;
+        /** This key's position in the shard's order list. */
+        std::list<std::string>::iterator pos;
+    };
+
     struct Shard
     {
         mutable std::mutex mu;
-        std::unordered_map<std::string, std::shared_ptr<CacheEntry>>
-            entries;
-        /** Insertion order, the FIFO eviction scan order. */
-        std::deque<std::string> order;
+        std::unordered_map<std::string, Slot> entries;
+        /**
+         * Eviction scan order, front = first victim candidate.
+         * Fifo: insertion order, untouched afterwards. Lru:
+         * insertion order with every access splicing the key to
+         * the back. Cost: insertion order too — the cost scan
+         * ranks by CacheEntry::costMs and uses list position only
+         * to break ties (older first).
+         */
+        std::list<std::string> order;
     };
 
+    void touchLocked(Shard &shard, Slot &slot);
     void evictIfFull(Shard &shard);
     void eraseLocked(Shard &shard, const std::string &key);
 
     std::vector<Shard> shards_;
     int perShardCap_;
+    EvictPolicy policy_;
     std::atomic<std::uint64_t> evictions_{0};
     std::atomic<std::uint64_t> retired_{0};
 };

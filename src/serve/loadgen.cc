@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "serve/net.h"
 #include "support/diag.h"
 #include "workload/suite.h"
 #include "workload/text.h"
@@ -154,6 +155,99 @@ hammerService(
             by_status[static_cast<size_t>(result->status)]
                 .fetch_add(1);
             if (!result->parsed || !result->ok)
+                failures.fetch_add(1);
+        }
+        retries.fetch_add(local_retries);
+        std::lock_guard<std::mutex> lock(latency_mu);
+        latencies.merge(local);
+    };
+    std::vector<std::thread> threads;
+    int n = std::max(clients, 1);
+    threads.reserve(static_cast<size_t>(n));
+    for (int t = 0; t < n; ++t)
+        threads.emplace_back(client, t);
+    for (std::thread &t : threads)
+        t.join();
+
+    HammerResult out;
+    out.requests = total;
+    out.failures = failures.load();
+    out.retries = retries.load();
+    for (size_t s = 0; s < 7; ++s)
+        out.byStatus[s] = by_status[s].load();
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    out.p50Ms = latencies.percentile(50);
+    out.p90Ms = latencies.percentile(90);
+    out.p99Ms = latencies.percentile(99);
+    out.maxMs = latencies.max();
+    return out;
+}
+
+HammerResult
+hammerNetwork(
+    const std::string &host, int port, int total, int clients,
+    const std::string &machineText, const std::string &scheduler,
+    std::uint64_t seed,
+    const std::function<std::string(int, Rng &)> &makeLoop,
+    const RetryPolicy &policy, int connectTimeoutMs)
+{
+    std::atomic<int> dispatched{0};
+    std::atomic<int> failures{0};
+    std::atomic<int> retries{0};
+    std::atomic<int> by_status[7] = {};
+    std::mutex latency_mu;
+    Samples latencies;
+    auto t0 = std::chrono::steady_clock::now();
+    auto client = [&](int tid) {
+        Rng rng(seed + static_cast<std::uint64_t>(tid) * 104729);
+        Samples local;
+        int local_retries = 0;
+        NetClient net;
+        std::string err;
+        net.connect(host, port, connectTimeoutMs, err);
+        while (true) {
+            int i = dispatched.fetch_add(1);
+            if (i >= total)
+                break;
+            CompileRequest req;
+            req.loopText = makeLoop(i, rng);
+            req.machineText = machineText;
+            req.options.scheduler = scheduler;
+            req.options.regalloc = true;
+            req.deadlineMs = policy.deadlineMs;
+            auto r0 = std::chrono::steady_clock::now();
+            CompileResult result;
+            for (int attempt = 0;; ++attempt) {
+                if (!net.connected())
+                    net.connect(host, port, connectTimeoutMs,
+                                err);
+                if (!net.compile(req, result, err)) {
+                    // Transport failure (refused, EOF from an
+                    // injected serve.net.* fault, garbled
+                    // response): a retryable Failed, with a
+                    // reconnect on the next attempt.
+                    result = CompileResult();
+                    result.status = CompileStatus::Failed;
+                    result.parsed = true;
+                    result.error = "transport: " + err;
+                }
+                if (attempt + 1 >=
+                        std::max(policy.maxAttempts, 1) ||
+                    !policy.shouldRetry(result.status))
+                    break;
+                ++local_retries;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(
+                        policy.delayMs(attempt, rng)));
+            }
+            local.add(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - r0)
+                          .count());
+            by_status[static_cast<size_t>(result.status)]
+                .fetch_add(1);
+            if (!result.parsed || !result.ok)
                 failures.fetch_add(1);
         }
         retries.fetch_add(local_retries);

@@ -150,6 +150,26 @@ HammerResult hammerService(
     const std::function<std::string(int, Rng &)> &makeLoop,
     const RetryPolicy &policy = {});
 
+/**
+ * The same hammer loop over sockets: @p clients threads, each with
+ * its own NetClient connection to @p host:@p port, firing
+ * @p total requests through the wire protocol (serve/net.h).
+ * Latency is measured client-side around each round trip and
+ * merged exactly like hammerService. Transport failures —
+ * connection refused mid-run, EOF from an injected
+ * serve.net.* fault, a garbled response — are synthesized as
+ * retryable Failed results and the connection is re-established,
+ * so every request still resolves to exactly one terminal status.
+ * @p policy's submitWaitMs is ignored (shedding is the server's
+ * call in network mode); its deadline rides in each request.
+ */
+HammerResult hammerNetwork(
+    const std::string &host, int port, int total, int clients,
+    const std::string &machineText, const std::string &scheduler,
+    std::uint64_t seed,
+    const std::function<std::string(int, Rng &)> &makeLoop,
+    const RetryPolicy &policy = {}, int connectTimeoutMs = 5000);
+
 } // namespace dms
 
 #endif // DMS_SERVE_LOADGEN_H

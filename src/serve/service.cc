@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
 #include <mutex>
 #include <thread>
@@ -197,6 +198,13 @@ ServeOptions::fromEnv()
                                   opts.quarantineAfter);
     opts.quarantineProbe = envInt("DMS_SERVE_QUARANTINE_PROBE",
                                   opts.quarantineProbe);
+    if (const char *ev = std::getenv("DMS_SERVE_EVICT")) {
+        if (!evictPolicyFromName(ev, opts.eviction)) {
+            warn("DMS_SERVE_EVICT='%s' is not one of "
+                 "fifo/lru/cost; using %s",
+                 ev, evictPolicyName(opts.eviction));
+        }
+    }
     return opts;
 }
 
@@ -226,8 +234,8 @@ struct CompileService::Impl
 {
     explicit Impl(const ServeOptions &o)
         : opts(o), queue(o.queueDepth),
-          cache(o.shards, o.cacheCapacity),
-          aliases(o.shards, o.cacheCapacity),
+          cache(o.shards, o.cacheCapacity, o.eviction),
+          aliases(o.shards, o.cacheCapacity, o.eviction),
           workerCount(o.workers > 0 ? o.workers
                                     : ThreadPool::defaultJobs())
     {
@@ -269,6 +277,7 @@ struct CompileService::Impl
         // A throwing compile must resolve the request as a
         // structured result, never unwind the worker thread: the
         // catch blocks below are the service's fault boundary.
+        const auto t0 = std::chrono::steady_clock::now();
         try {
             faultPoint("serve.worker.compile");
             if (job.cancel != nullptr && job.cancel->cancelled())
@@ -302,6 +311,15 @@ struct CompileService::Impl
             result->status = CompileStatus::Failed;
             result->error = e.what();
         }
+
+        // Stamp the measured compile latency before the entry
+        // becomes visible as ready: the Cost eviction policy ranks
+        // ready entries by this value.
+        const auto t1 = std::chrono::steady_clock::now();
+        job.entry->costMs.store(
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count(),
+            std::memory_order_relaxed);
 
         finishCompile(job.entry, job.key, job.hash,
                       std::move(result));
@@ -901,6 +919,11 @@ serveStatsToText(const ServeStats &stats)
     line("queue_capacity",
          static_cast<std::uint64_t>(
              std::max(stats.queueCapacity, 0)));
+    line("net_connections", stats.netConnections);
+    line("net_requests", stats.netRequests);
+    line("net_framing_rejects", stats.netFramingRejects);
+    line("net_bytes_in", stats.netBytesIn);
+    line("net_bytes_out", stats.netBytesOut);
     return out;
 }
 
@@ -971,6 +994,16 @@ serveStatsFromText(const std::string &text, ServeStats &stats,
             parsed.peakQueueDepth = static_cast<int>(v);
         } else if (key == "queue_capacity") {
             parsed.queueCapacity = static_cast<int>(v);
+        } else if (key == "net_connections") {
+            parsed.netConnections = u;
+        } else if (key == "net_requests") {
+            parsed.netRequests = u;
+        } else if (key == "net_framing_rejects") {
+            parsed.netFramingRejects = u;
+        } else if (key == "net_bytes_in") {
+            parsed.netBytesIn = u;
+        } else if (key == "net_bytes_out") {
+            parsed.netBytesOut = u;
         } else {
             error = strfmt("line %d: unknown key '%s'", lineno,
                            key.c_str());

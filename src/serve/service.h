@@ -70,11 +70,22 @@ struct ServeOptions
     int quarantineProbe = 16;
 
     /**
+     * Result-cache eviction policy (see EvictPolicy): fifo keeps
+     * insertion order, lru keeps access order, cost keeps the
+     * entries that were most expensive to compile (measured
+     * compile latency). Applies to both the canonical cache and
+     * the raw-text alias map.
+     */
+    EvictPolicy eviction = EvictPolicy::Fifo;
+
+    /**
      * Environment overrides via the strict parse path (garbage,
      * trailing junk and overflow rejected with a warning):
      * DMS_SERVE_WORKERS, DMS_SERVE_QUEUE_DEPTH, DMS_SERVE_SHARDS,
      * DMS_SERVE_CACHE_CAP, DMS_SERVE_QUARANTINE_AFTER,
-     * DMS_SERVE_QUARANTINE_PROBE.
+     * DMS_SERVE_QUARANTINE_PROBE, and
+     * DMS_SERVE_EVICT={fifo,lru,cost} (unknown names warn and
+     * keep the default).
      */
     static ServeOptions fromEnv();
 };
@@ -186,6 +197,21 @@ struct ServeStats
     int queueDepth = 0;     ///< requests waiting right now
     int peakQueueDepth = 0; ///< high-water mark
     int queueCapacity = 0;  ///< configured bound (ServeOptions)
+
+    /** @name Network front-end counters (zero without --listen) */
+    /// @{
+    std::uint64_t netConnections = 0; ///< TCP connections accepted
+    std::uint64_t netRequests = 0;    ///< request lines received
+    /**
+     * Request lines that failed wire-format framing. Every framing
+     * reject is also submitted to the service as an (unparseable)
+     * request, so netFramingRejects <= invalid — the lint
+     * identity dmslint audits.
+     */
+    std::uint64_t netFramingRejects = 0;
+    std::uint64_t netBytesIn = 0;  ///< request bytes read
+    std::uint64_t netBytesOut = 0; ///< response bytes written
+    /// @}
 
     /** @name End-to-end compile() latency (milliseconds) */
     /// @{

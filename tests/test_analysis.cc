@@ -93,7 +93,7 @@ corpusCases()
         "bad_template.mtmpl",     "bad_parse.loop",
         "store_no_value.loop",    "dead_op.loop",
         "dangling_operand.loop",  "noncanonical.loop",
-        "inconsistent.stats",
+        "inconsistent.stats",     "inconsistent_net.stats",
     };
     return kCases;
 }
@@ -288,6 +288,7 @@ TEST(LintCorpus, EachCaseFlagsItsCheckWithLocation)
         {"dangling_operand.loop", "loop.dangling-operand", 5},
         {"noncanonical.loop", "loop.noncanonical-text", 0},
         {"inconsistent.stats", "serve.stats-consistency", 0},
+        {"inconsistent_net.stats", "serve.stats-consistency", 0},
     };
     for (const Want &w : wants) {
         const DiagnosticSink sink = lintCorpusFile(w.file);

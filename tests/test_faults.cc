@@ -610,12 +610,15 @@ TEST(ServeStatsText, RejectsMalformedText)
  * residency. After every operation the recount
  *   inserted == size() + evictions() + retired()
  * must hold exactly, and no lookup may ever surface a failed
- * entry.
+ * entry. The law is policy-independent: LRU reorders the victim
+ * queue and cost-aware re-ranks it, but neither may create or
+ * leak an entry, so the same fuzz runs under all three.
  */
-TEST(CacheAccounting, FuzzedConservationExact)
+void
+conservationFuzz(EvictPolicy policy, std::uint64_t seed)
 {
-    ResultCache cache(/*shards=*/2, /*capacity=*/8);
-    Rng rng(0xacc7ULL);
+    ResultCache cache(/*shards=*/2, /*capacity=*/8, policy);
+    Rng rng(seed);
     std::uint64_t inserted = 0;
     std::uint64_t resolved_failed = 0;
     std::vector<std::pair<std::string,
@@ -629,6 +632,11 @@ TEST(CacheAccounting, FuzzedConservationExact)
             ++resolved_failed;
             entry->failed.store(true, std::memory_order_release);
         }
+        // A synthetic compile cost so the cost-aware policy has
+        // something to rank by; Fifo/Lru ignore it.
+        entry->costMs.store(
+            static_cast<double>(rng.range(1, 500)),
+            std::memory_order_relaxed);
         entry->ready.store(true, std::memory_order_release);
         entry->promise.set_value(
             std::make_shared<CompileResult>());
@@ -683,6 +691,21 @@ TEST(CacheAccounting, FuzzedConservationExact)
     EXPECT_GT(cache.evictions(), 0u);
     EXPECT_GT(cache.retired(), 0u);
     EXPECT_GT(resolved_failed, 0u);
+}
+
+TEST(CacheAccounting, FuzzedConservationExactFifo)
+{
+    conservationFuzz(EvictPolicy::Fifo, 0xacc7ULL);
+}
+
+TEST(CacheAccounting, FuzzedConservationExactLru)
+{
+    conservationFuzz(EvictPolicy::Lru, 0x14c7ULL);
+}
+
+TEST(CacheAccounting, FuzzedConservationExactCost)
+{
+    conservationFuzz(EvictPolicy::Cost, 0xc057ULL);
 }
 
 } // namespace

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Network front-end tests: wire escape/framing round trips, a
+ * deterministic framing-fuzz pass over corrupted request lines
+ * (parse or structured reject — never a crash), live-server abuse
+ * (garbage lines, oversized lines, mid-request disconnects) that
+ * must leave the daemon serving, and the socket-parity pin: a TCP
+ * round trip returns results bit-identical to the in-process
+ * CompileService, including a cache-hit round trip.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/dms.h"
+#include "machine/desc.h"
+#include "serve/net.h"
+#include "serve/service.h"
+#include "support/rng.h"
+#include "workload/suite.h"
+#include "workload/text.h"
+
+namespace dms {
+namespace {
+
+/** Canonical compile request for one named kernel on the ring. */
+CompileRequest
+kernelRequest(const char *kernel, bool codegen = true)
+{
+    Loop loop;
+    std::string error;
+    EXPECT_TRUE(loadLoopSpec(
+        (std::string("kernel:") + kernel).c_str(), loop, error))
+        << error;
+    PipelineOptions po;
+    po.scheduler = "dms";
+    po.regalloc = true;
+    po.codegen = codegen;
+    return makeRequest(loop, MachineModel::clusteredRing(4), po);
+}
+
+/** Every field of the two results, compared bit-for-bit. */
+void
+expectResultsIdentical(const CompileResult &a,
+                       const CompileResult &b)
+{
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.parsed, b.parsed);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.error, b.error);
+    EXPECT_EQ(a.failSite, b.failSite);
+    EXPECT_TRUE(a.run == b.run);
+    EXPECT_EQ(a.kernelText, b.kernelText);
+}
+
+/** Raw loopback TCP connection, bypassing NetClient's framing. */
+int
+rawConnect(int port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+rawSend(int fd, const std::string &bytes)
+{
+    size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n = ::send(fd, bytes.data() + off,
+                           bytes.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** Read one '\n'-terminated line (newline stripped). */
+bool
+rawReadLine(int fd, std::string &line)
+{
+    line.clear();
+    char c = 0;
+    while (true) {
+        ssize_t n = ::recv(fd, &c, 1, 0);
+        if (n <= 0)
+            return false;
+        if (c == '\n')
+            return true;
+        line.push_back(c);
+    }
+}
+
+// --- framing ------------------------------------------------------------
+
+TEST(Wire, EscapeRoundTripsEveryReservedByte)
+{
+    const std::string nasty("a\\b\tc\nd\re\\\\\t\t\n\n", 16);
+    const std::string esc = wireEscape(nasty);
+    EXPECT_EQ(esc.find('\t'), std::string::npos);
+    EXPECT_EQ(esc.find('\n'), std::string::npos);
+    EXPECT_EQ(esc.find('\r'), std::string::npos);
+    std::string back;
+    ASSERT_TRUE(wireUnescape(esc, back));
+    EXPECT_EQ(back, nasty);
+
+    // Random byte soup round-trips too.
+    Rng rng(0x5eedULL);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::string s;
+        const int len = rng.range(0, 64);
+        for (int i = 0; i < len; ++i)
+            s.push_back(static_cast<char>(rng.range(0, 255)));
+        std::string out;
+        ASSERT_TRUE(wireUnescape(wireEscape(s), out));
+        EXPECT_EQ(out, s);
+    }
+}
+
+TEST(Wire, UnescapeRejectsBadEscapes)
+{
+    std::string out;
+    EXPECT_FALSE(wireUnescape("dangling\\", out));
+    EXPECT_FALSE(wireUnescape("unknown\\q", out));
+    EXPECT_TRUE(wireUnescape("fine\\\\\\t\\n\\r", out));
+    EXPECT_EQ(out, "fine\\\t\n\r");
+}
+
+TEST(Wire, RequestLineRoundTripsEveryField)
+{
+    WireRequest req;
+    req.verb = WireRequest::Verb::Compile;
+    req.request = kernelRequest("fir8");
+    req.request.deadlineMs = 750;
+    req.request.options.forceUnroll = 2;
+    req.request.options.unrollMaxFactor = 4;
+    req.request.options.unrollMaxOps = 256;
+    req.request.options.verify = false;
+
+    const std::string line = wireRequestToLine(req);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+
+    WireRequest back;
+    std::string error;
+    ASSERT_TRUE(wireRequestFromLine(line, back, error)) << error;
+    EXPECT_EQ(back.verb, WireRequest::Verb::Compile);
+    EXPECT_EQ(back.request.loopText, req.request.loopText);
+    EXPECT_EQ(back.request.machineText, req.request.machineText);
+    EXPECT_EQ(back.request.options.scheduler,
+              req.request.options.scheduler);
+    EXPECT_EQ(back.request.deadlineMs, 750);
+    EXPECT_EQ(back.request.options.forceUnroll, 2);
+    EXPECT_EQ(back.request.options.unrollMaxFactor, 4);
+    EXPECT_EQ(back.request.options.unrollMaxOps, 256);
+    EXPECT_FALSE(back.request.options.verify);
+    EXPECT_TRUE(back.request.options.regalloc);
+    EXPECT_TRUE(back.request.options.codegen);
+
+    WireRequest stats;
+    stats.verb = WireRequest::Verb::Stats;
+    WireRequest statsBack;
+    ASSERT_TRUE(wireRequestFromLine(wireRequestToLine(stats),
+                                    statsBack, error))
+        << error;
+    EXPECT_EQ(statsBack.verb, WireRequest::Verb::Stats);
+}
+
+TEST(Wire, ResultLineRoundTripsEveryField)
+{
+    CompileResult r;
+    r.status = CompileStatus::Ok;
+    r.parsed = true;
+    r.ok = true;
+    r.error = "line 3:\tnot really\n";
+    r.failSite = "serve.cache.lookup";
+    r.run.ok = true;
+    r.run.ii = 7;
+    r.run.mii = 6;
+    r.run.stageCount = 3;
+    r.run.unrollFactor = 2;
+    r.run.movesInserted = 11;
+    r.run.copiesInserted = 4;
+    r.run.iterations = 64;
+    r.run.cycles = 513;
+    r.run.usefulIssues = 1024;
+    r.run.queueFiles = 5;
+    r.run.queuesRequired = 17;
+    r.run.queueStorage = 40;
+    r.run.maxLinkQueues = 3;
+    r.kernelText = "stage 0:\n  alu0.add r1, r2\n";
+
+    CompileResult back;
+    std::string error;
+    ASSERT_TRUE(
+        wireResultFromLine(wireResultToLine(r), back, error))
+        << error;
+    expectResultsIdentical(r, back);
+}
+
+TEST(Wire, FramingFuzzNeverCrashesTheParser)
+{
+    // Deterministic corruption of a real request line: byte flips,
+    // insertions, deletions and truncations. Every mutant must
+    // either parse or produce a framing error — never crash, never
+    // return success with an empty loop/machine.
+    WireRequest req;
+    req.request = kernelRequest("fir8", false);
+    const std::string pristine = wireRequestToLine(req);
+
+    Rng rng(0xfeedfaceULL);
+    for (int iter = 0; iter < 3000; ++iter) {
+        std::string line = pristine;
+        const int edits = rng.range(1, 8);
+        for (int e = 0; e < edits && !line.empty(); ++e) {
+            const size_t pos = static_cast<size_t>(rng.range(
+                0, static_cast<int>(line.size()) - 1));
+            switch (rng.range(0, 3)) {
+            case 0:
+                line[pos] = static_cast<char>(rng.range(0, 255));
+                break;
+            case 1:
+                line.insert(pos, 1,
+                            static_cast<char>(rng.range(0, 255)));
+                break;
+            case 2:
+                line.erase(pos, 1);
+                break;
+            default:
+                line.resize(pos);
+                break;
+            }
+        }
+        // Mutants that still parse (e.g. a value flipped inside
+        // the escaped loop text) are the service's problem — it
+        // answers Invalid. The parser's contract here is only:
+        // a verdict, an error message on reject, no crash.
+        WireRequest out;
+        std::string error;
+        if (!wireRequestFromLine(line, out, error)) {
+            EXPECT_FALSE(error.empty());
+        }
+    }
+}
+
+// --- live server abuse --------------------------------------------------
+
+TEST(NetServer, GarbageAndDisconnectsLeaveTheServerServing)
+{
+    ServeOptions so;
+    so.workers = 2;
+    CompileService service(so);
+    NetServer server(service);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    // Garbage lines get a structured Invalid response on the same
+    // connection — parse-or-reject, never a dropped socket.
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    for (const char *junk :
+         {"not a protocol line", "dms1\tcompile\tloop=\\q",
+          "dms1\tfrobnicate", "dms1\tcompile\tmystery=1"}) {
+        ASSERT_TRUE(rawSend(fd, std::string(junk) + "\n"));
+        std::string respLine;
+        ASSERT_TRUE(rawReadLine(fd, respLine)) << junk;
+        CompileResult resp;
+        ASSERT_TRUE(wireResultFromLine(respLine, resp, error))
+            << error;
+        EXPECT_EQ(resp.status, CompileStatus::Invalid) << junk;
+        EXPECT_FALSE(resp.error.empty());
+    }
+    // A mid-request disconnect (partial line, no newline) is
+    // dropped without a response and without hurting the server.
+    ASSERT_TRUE(rawSend(fd, "dms1\tcompile\tloop="));
+    ::close(fd);
+
+    // The server still compiles for the next client.
+    NetClient client;
+    ASSERT_TRUE(
+        client.connect("127.0.0.1", server.port(), 5000, error))
+        << error;
+    CompileResult result;
+    ASSERT_TRUE(
+        client.compile(kernelRequest("fir8", false), result, error))
+        << error;
+    EXPECT_EQ(result.status, CompileStatus::Ok);
+
+    const ServeStats stats = server.stats();
+    EXPECT_GE(stats.netFramingRejects, 4u);
+    EXPECT_LE(stats.netFramingRejects, stats.invalid);
+    EXPECT_LE(stats.netFramingRejects, stats.netRequests);
+    EXPECT_GE(stats.netBytesIn, stats.netRequests);
+    server.stop();
+}
+
+TEST(NetServer, OversizedLineIsRejectedAndTheConnectionSurvives)
+{
+    ServeOptions so;
+    so.workers = 2;
+    CompileService service(so);
+    NetServerOptions no;
+    no.maxLineBytes = 4096;
+    NetServer server(service, no);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+
+    int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(
+        rawSend(fd, std::string(10000, 'x') + "\n"));
+    std::string respLine;
+    ASSERT_TRUE(rawReadLine(fd, respLine));
+    CompileResult resp;
+    ASSERT_TRUE(wireResultFromLine(respLine, resp, error)) << error;
+    EXPECT_EQ(resp.status, CompileStatus::Invalid);
+
+    // Same connection, next line: a well-formed compile succeeds.
+    WireRequest req;
+    req.request = kernelRequest("fir8", false);
+    ASSERT_TRUE(rawSend(fd, wireRequestToLine(req) + "\n"));
+    ASSERT_TRUE(rawReadLine(fd, respLine));
+    ASSERT_TRUE(wireResultFromLine(respLine, resp, error)) << error;
+    EXPECT_EQ(resp.status, CompileStatus::Ok);
+    ::close(fd);
+    server.stop();
+}
+
+// --- socket parity (acceptance pin) -------------------------------------
+
+TEST(NetServer, TcpRoundTripIsBitIdenticalToInProcessService)
+{
+    const CompileRequest req = kernelRequest("fir8");
+
+    // Ground truth: the in-process service, no sockets anywhere.
+    ServeOptions so;
+    so.workers = 2;
+    CompileService direct(so);
+    CompileService::ResultPtr truth = direct.compile(req);
+    ASSERT_TRUE(truth->parsed);
+    ASSERT_TRUE(truth->ok);
+    ASSERT_FALSE(truth->kernelText.empty());
+
+    // The same request over TCP against a fresh service.
+    CompileService service(so);
+    NetServer server(service);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    NetClient client;
+    ASSERT_TRUE(
+        client.connect("127.0.0.1", server.port(), 5000, error))
+        << error;
+
+    CompileResult cold;
+    ASSERT_TRUE(client.compile(req, cold, error)) << error;
+    expectResultsIdentical(*truth, cold);
+
+    // And the cache-hit round trip: same wire request again must
+    // be a hit server-side and byte-identical client-side.
+    CompileResult warm;
+    ASSERT_TRUE(client.compile(req, warm, error)) << error;
+    expectResultsIdentical(*truth, warm);
+
+    const ServeStats stats = server.stats();
+    EXPECT_GE(stats.hits, 1u);
+    EXPECT_EQ(stats.netRequests, 2u);
+    EXPECT_EQ(stats.netConnections, 1u);
+    EXPECT_EQ(stats.netFramingRejects, 0u);
+
+    // The stats verb round-trips the snapshot text too.
+    std::string statsText;
+    ASSERT_TRUE(client.fetchStats(statsText, error)) << error;
+    ServeStats fetched;
+    ASSERT_TRUE(serveStatsFromText(statsText, fetched, error))
+        << error;
+    EXPECT_EQ(fetched.hits, stats.hits);
+    EXPECT_EQ(fetched.netConnections, 1u);
+    server.stop();
+}
+
+} // namespace
+} // namespace dms

@@ -333,6 +333,103 @@ TEST(Serve, EvictionRecompilesEvictedKeys)
     EXPECT_TRUE(again->ok);
 }
 
+// --- eviction policies --------------------------------------------------
+
+/** Insert @p key as a ready entry with the given compile cost. */
+void
+insertReady(ResultCache &cache, const std::string &key,
+            double costMs = 1.0)
+{
+    std::shared_ptr<CacheEntry> entry;
+    ASSERT_EQ(cache.acquire(key, fnv1a64(key), entry),
+              ResultCache::Lookup::Inserted)
+        << key;
+    entry->costMs.store(costMs, std::memory_order_relaxed);
+    entry->ready.store(true, std::memory_order_release);
+    entry->promise.set_value(std::make_shared<CompileResult>());
+}
+
+bool
+resident(ResultCache &cache, const std::string &key)
+{
+    return cache.find(key, fnv1a64(key)) != nullptr;
+}
+
+/** LRU: a find() refreshes recency, so the victim is the coldest. */
+TEST(CacheEviction, LruEvictsLeastRecentlyTouched)
+{
+    ResultCache cache(/*shards=*/1, /*capacity=*/3,
+                      EvictPolicy::Lru);
+    insertReady(cache, "a");
+    insertReady(cache, "b");
+    insertReady(cache, "c");
+    // Touch a then b: c is now the least recently used.
+    EXPECT_TRUE(resident(cache, "a"));
+    EXPECT_TRUE(resident(cache, "b"));
+    insertReady(cache, "d");
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(resident(cache, "c"));
+    EXPECT_TRUE(resident(cache, "a"));
+    EXPECT_TRUE(resident(cache, "b"));
+    EXPECT_TRUE(resident(cache, "d"));
+}
+
+/** FIFO ignores touches: insertion order alone picks the victim. */
+TEST(CacheEviction, FifoIgnoresRecency)
+{
+    ResultCache cache(/*shards=*/1, /*capacity=*/3,
+                      EvictPolicy::Fifo);
+    insertReady(cache, "a");
+    insertReady(cache, "b");
+    insertReady(cache, "c");
+    EXPECT_TRUE(resident(cache, "a")); // touch changes nothing
+    insertReady(cache, "d");
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(resident(cache, "a"));
+    EXPECT_TRUE(resident(cache, "b"));
+}
+
+/** Cost-aware keeps the expensive entries, evicts the cheap one. */
+TEST(CacheEviction, CostEvictsTheCheapestEntry)
+{
+    ResultCache cache(/*shards=*/1, /*capacity=*/3,
+                      EvictPolicy::Cost);
+    insertReady(cache, "pricey", 400.0);
+    insertReady(cache, "cheap", 2.0);
+    insertReady(cache, "mid", 60.0);
+    insertReady(cache, "new", 10.0);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(resident(cache, "cheap"));
+    EXPECT_TRUE(resident(cache, "pricey"));
+    EXPECT_TRUE(resident(cache, "mid"));
+    EXPECT_TRUE(resident(cache, "new"));
+}
+
+TEST(CacheEviction, PolicyNamesRoundTrip)
+{
+    for (EvictPolicy p : {EvictPolicy::Fifo, EvictPolicy::Lru,
+                          EvictPolicy::Cost}) {
+        EvictPolicy back = EvictPolicy::Fifo;
+        EXPECT_TRUE(evictPolicyFromName(evictPolicyName(p), back));
+        EXPECT_EQ(back, p);
+    }
+    EvictPolicy p = EvictPolicy::Lru;
+    EXPECT_FALSE(evictPolicyFromName("mru", p));
+    EXPECT_EQ(p, EvictPolicy::Lru); // unchanged on reject
+}
+
+TEST(CacheEviction, EnvKnobSelectsThePolicy)
+{
+    ::setenv("DMS_SERVE_EVICT", "cost", 1);
+    EXPECT_EQ(ServeOptions::fromEnv().eviction, EvictPolicy::Cost);
+    ::setenv("DMS_SERVE_EVICT", "lru", 1);
+    EXPECT_EQ(ServeOptions::fromEnv().eviction, EvictPolicy::Lru);
+    // Unknown names warn and keep the default.
+    ::setenv("DMS_SERVE_EVICT", "banana", 1);
+    EXPECT_EQ(ServeOptions::fromEnv().eviction, EvictPolicy::Fifo);
+    ::unsetenv("DMS_SERVE_EVICT");
+}
+
 /**
  * Sweep routing: a matrix run through the service must be
  * bit-identical to the direct path, and a second run must be
