@@ -42,6 +42,16 @@
  *   --stats-out FILE   load-gen: write the final ServeStats
  *                      snapshot in the `servestats v1` text form
  *                      (lintable with dmslint)
+ *   --metrics-out FILE write the final metrics snapshot in the
+ *                      `dmsmetrics v1` text form (lintable with
+ *                      dmslint); over the wire in --connect mode
+ *   --trace-out FILE   write the collected request traces as
+ *                      Chrome trace_event JSON (non-empty only
+ *                      under DMS_TRACE=1; lintable with dmslint);
+ *                      over the wire in --connect mode
+ *
+ * DMS_METRICS=1 additionally prints the metrics snapshot text to
+ * stdout at the end of every mode.
  *
  * With DMS_FAULTS armed (see support/faultinject.h) dmsd prints
  * the per-site injection counters and treats fault-driven
@@ -72,6 +82,8 @@
 #include <vector>
 
 #include "machine/desc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/loadgen.h"
 #include "serve/net.h"
 #include "serve/service.h"
@@ -93,6 +105,38 @@ readFile(const std::string &path)
     std::stringstream ss;
     ss << in.rdbuf();
     return ss.str();
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot write '%s'", path.c_str());
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+}
+
+/**
+ * The observability artifacts every mode can emit: the metrics
+ * snapshot (dmsmetrics v1 text) to --metrics-out and/or stdout
+ * (DMS_METRICS=1), and the collected traces (Chrome trace_event
+ * JSON; spans only accumulate under DMS_TRACE=1) to --trace-out.
+ */
+void
+emitObsArtifacts(const obs::MetricsSnapshot &metrics,
+                 const std::string &metrics_out,
+                 const std::string &trace_out)
+{
+    const std::string text = obs::metricsToText(metrics);
+    if (envInt("DMS_METRICS", 0, 0) > 0)
+        std::fputs(text.c_str(), stdout);
+    if (!metrics_out.empty())
+        writeTextFile(metrics_out, text);
+    if (!trace_out.empty())
+        writeTextFile(trace_out,
+                      obs::tracesToJson(
+                          obs::TraceLog::instance().traces()));
 }
 
 const char *
@@ -350,14 +394,8 @@ runLoadGenerator(CompileService &service, int total, int clients,
                 res.count(CompileStatus::Rejected),
                 res.count(CompileStatus::Quarantined));
     printStats(service);
-    if (!stats_out.empty()) {
-        std::FILE *f = std::fopen(stats_out.c_str(), "w");
-        if (f == nullptr)
-            fatal("cannot write '%s'", stats_out.c_str());
-        const std::string text = serveStatsToText(service.stats());
-        std::fputs(text.c_str(), f);
-        std::fclose(f);
-    }
+    if (!stats_out.empty())
+        writeTextFile(stats_out, serveStatsToText(service.stats()));
     // Under an armed fault plan, fault-driven failures are the
     // point of the run: the daemon surviving them *is* the pass.
     // Invalid requests still fail the run — the mix generator
@@ -378,7 +416,9 @@ onShutdownSignal(int)
 
 int
 runDaemon(CompileService &service, int port,
-          const std::string &stats_out)
+          const std::string &stats_out,
+          const std::string &metrics_out,
+          const std::string &trace_out)
 {
     NetServerOptions nopts;
     nopts.port = port;
@@ -403,13 +443,9 @@ runDaemon(CompileService &service, int port,
     server.stop();
     ServeStats s = server.stats();
     printStatsSnapshot(s);
-    if (!stats_out.empty()) {
-        std::FILE *f = std::fopen(stats_out.c_str(), "w");
-        if (f == nullptr)
-            fatal("cannot write '%s'", stats_out.c_str());
-        std::fputs(serveStatsToText(s).c_str(), f);
-        std::fclose(f);
-    }
+    if (!stats_out.empty())
+        writeTextFile(stats_out, serveStatsToText(s));
+    emitObsArtifacts(server.metrics(), metrics_out, trace_out);
     return 0;
 }
 
@@ -419,7 +455,9 @@ runNetworkLoadGenerator(const std::string &host, int port,
                         std::uint64_t seed,
                         const RequestContext &rc,
                         const RetryPolicy &policy,
-                        const std::string &stats_out)
+                        const std::string &stats_out,
+                        const std::string &metrics_out,
+                        const std::string &trace_out)
 {
     // The client knows about chaos runs through the same env knob
     // as the daemon (no CompileService here to arm it for us).
@@ -477,15 +515,30 @@ runNetworkLoadGenerator(const std::string &host, int port,
                 printStatsSnapshot(s);
             else
                 warn("stats fetch: %s", perr.c_str());
-            if (!stats_out.empty()) {
-                std::FILE *f =
-                    std::fopen(stats_out.c_str(), "w");
-                if (f == nullptr)
-                    fatal("cannot write '%s'",
-                          stats_out.c_str());
-                std::fputs(text.c_str(), f);
-                std::fclose(f);
+            if (!stats_out.empty())
+                writeTextFile(stats_out, text);
+        }
+        // Metrics and traces come over the same wire verbs the
+        // server serves to everyone; the trace body is empty
+        // unless the *daemon* runs under DMS_TRACE=1.
+        if (!metrics_out.empty() ||
+            envInt("DMS_METRICS", 0, 0) > 0) {
+            std::string mtext;
+            if (!nc.fetchMetrics(mtext, error)) {
+                warn("metrics fetch: %s", error.c_str());
+            } else {
+                if (envInt("DMS_METRICS", 0, 0) > 0)
+                    std::fputs(mtext.c_str(), stdout);
+                if (!metrics_out.empty())
+                    writeTextFile(metrics_out, mtext);
             }
+        }
+        if (!trace_out.empty()) {
+            std::string ttext;
+            if (!nc.fetchTrace(ttext, error))
+                warn("trace fetch: %s", error.c_str());
+            else
+                writeTextFile(trace_out, ttext);
         }
     }
 
@@ -516,6 +569,8 @@ main(int argc, char **argv)
     std::string connect_to;
     RetryPolicy policy;
     std::string stats_out;
+    std::string metrics_out;
+    std::string trace_out;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -562,6 +617,10 @@ main(int argc, char **argv)
             connect_to = next();
         else if (a == "--stats-out")
             stats_out = next();
+        else if (a == "--metrics-out")
+            metrics_out = next();
+        else if (a == "--trace-out")
+            trace_out = next();
         else
             fatal("unknown option '%s'", a.c_str());
     }
@@ -603,7 +662,7 @@ main(int argc, char **argv)
             std::max(clients, 1),
             std::clamp(hot_percent, 0, 100),
             static_cast<std::uint64_t>(seed), rc, policy,
-            stats_out);
+            stats_out, metrics_out, trace_out);
     }
 
     ServeOptions opts = ServeOptions::fromEnv();
@@ -617,13 +676,18 @@ main(int argc, char **argv)
                 evictPolicyName(opts.eviction));
 
     if (listen_port >= 0)
-        return runDaemon(service, listen_port, stats_out);
+        return runDaemon(service, listen_port, stats_out,
+                         metrics_out, trace_out);
 
+    int code;
     if (!script.empty())
-        return runScript(service, script, std::move(rc));
-
-    return runLoadGenerator(service, load, std::max(clients, 1),
-                            std::clamp(hot_percent, 0, 100),
-                            static_cast<std::uint64_t>(seed), rc,
-                            policy, stats_out);
+        code = runScript(service, script, std::move(rc));
+    else
+        code = runLoadGenerator(
+            service, load, std::max(clients, 1),
+            std::clamp(hot_percent, 0, 100),
+            static_cast<std::uint64_t>(seed), rc, policy,
+            stats_out);
+    emitObsArtifacts(service.metrics(), metrics_out, trace_out);
+    return code;
 }

@@ -10,8 +10,10 @@
  * Targets:
  *   FILE           auto-detected: a machine description, a `$C`
  *                  machine sweep template, a loop body in the
- *                  workload/text format, or a `servestats v1`
- *                  counter snapshot (dmsd --stats-out)
+ *                  workload/text format, a `servestats v1`
+ *                  counter snapshot (dmsd --stats-out), a
+ *                  `dmsmetrics v1` snapshot (dmsd --metrics-out),
+ *                  or a trace_event JSON export (dmsd --trace-out)
  *   kernel:NAME    a built-in kernel ("kernel:fir8")
  *   kernel:*       every built-in kernel
  *
@@ -61,16 +63,32 @@ readFile(const std::string &path)
 }
 
 /** What a target file contains, judged from its text alone. */
-enum class TargetKind { Machine, Template, LoopText, ServeStats };
+enum class TargetKind {
+    Machine,
+    Template,
+    LoopText,
+    ServeStats,
+    Metrics,
+    Trace,
+};
 
 TargetKind
 detectKind(const std::string &text)
 {
+    // A trace export is the one non-line-keyed format: a JSON
+    // array, so the first non-space byte is '['.
+    for (char c : text) {
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+            continue;
+        if (c == '[')
+            return TargetKind::Trace;
+        break;
+    }
     if (text.find("$C") != std::string::npos)
         return TargetKind::Template;
-    // A machine description opens with one of its keys, a stats
-    // snapshot with its versioned header; anything else is treated
-    // as loop text (whose own first key is "loop").
+    // A machine description opens with one of its keys, the
+    // snapshot formats with their versioned headers; anything else
+    // is treated as loop text (whose own first key is "loop").
     for (const std::string &raw : split(text, '\n')) {
         const std::string line = trim(raw);
         if (line.empty() || line[0] == '#')
@@ -83,6 +101,8 @@ detectKind(const std::string &text)
             return TargetKind::Machine;
         if (key == "servestats")
             return TargetKind::ServeStats;
+        if (key == "dmsmetrics")
+            return TargetKind::Metrics;
         break;
     }
     return TargetKind::LoopText;
@@ -227,6 +247,12 @@ main(int argc, char **argv)
         }
         case TargetKind::ServeStats:
             lintServeStatsText(text, target, sink);
+            break;
+        case TargetKind::Metrics:
+            lintMetricsText(text, target, sink);
+            break;
+        case TargetKind::Trace:
+            lintTraceText(text, target, sink);
             break;
         }
     }

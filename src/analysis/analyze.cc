@@ -1,6 +1,8 @@
 #include "analysis/analyze.h"
 
 #include "machine/desc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/service.h"
 #include "workload/text.h"
 
@@ -82,6 +84,32 @@ lintServeStatsText(const std::string &text,
     std::string error;
     if (serveStatsFromText(text, stats, error))
         input.serveStats = &stats;
+    return runChecks(input, subject, sink);
+}
+
+int
+lintMetricsText(const std::string &text, const std::string &subject,
+                DiagnosticSink &sink)
+{
+    AnalysisInput input;
+    input.metricsText = &text;
+    obs::MetricsSnapshot snapshot;
+    std::string error;
+    if (obs::metricsFromText(text, snapshot, error))
+        input.metrics = &snapshot;
+    return runChecks(input, subject, sink);
+}
+
+int
+lintTraceText(const std::string &text, const std::string &subject,
+              DiagnosticSink &sink)
+{
+    AnalysisInput input;
+    input.traceText = &text;
+    std::vector<std::vector<obs::TraceSpan>> traces;
+    std::string error;
+    if (obs::tracesFromJson(text, traces, error))
+        input.traceSpans = &traces;
     return runChecks(input, subject, sink);
 }
 

@@ -56,6 +56,23 @@ int lintServeStatsText(const std::string &text,
                        const std::string &subject,
                        DiagnosticSink &sink);
 
+/**
+ * Lint one `dmsmetrics v1` snapshot (the text form metricsToText
+ * emits, `dmsd --metrics-out` writes and the `metrics` wire verb
+ * serves). Parse failures are reported through the sink.
+ */
+int lintMetricsText(const std::string &text,
+                    const std::string &subject,
+                    DiagnosticSink &sink);
+
+/**
+ * Lint one trace export (the Chrome trace_event JSON tracesToJson
+ * emits and `dmsd --trace-out` writes). Parse failures are
+ * reported through the sink.
+ */
+int lintTraceText(const std::string &text,
+                  const std::string &subject, DiagnosticSink &sink);
+
 } // namespace dms
 
 #endif // DMS_ANALYSIS_ANALYZE_H

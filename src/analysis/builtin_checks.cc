@@ -11,6 +11,7 @@ registerBuiltinChecks(CheckRegistry &registry)
     lint::registerQueueChecks(registry);
     lint::registerKernelChecks(registry);
     lint::registerServeChecks(registry);
+    lint::registerObsChecks(registry);
 }
 
 } // namespace dms

@@ -42,6 +42,7 @@ void registerScheduleChecks(CheckRegistry &registry);
 void registerQueueChecks(CheckRegistry &registry);
 void registerKernelChecks(CheckRegistry &registry);
 void registerServeChecks(CheckRegistry &registry);
+void registerObsChecks(CheckRegistry &registry);
 
 } // namespace lint
 } // namespace dms

@@ -37,6 +37,11 @@ namespace dms {
 
 struct ServeStats; // serve/service.h; only audited via pointer here
 
+namespace obs {
+struct MetricsSnapshot; // obs/metrics.h
+struct TraceSpan;       // obs/trace.h
+} // namespace obs
+
 /**
  * Flat, freely mutable view of a (complete or partial) modulo
  * schedule: one Placement per DDG op id. The audit checks consume
@@ -84,6 +89,8 @@ struct AnalysisInput
     const std::string *loopText = nullptr;
     const std::string *kernelText = nullptr;
     const std::string *serveStatsText = nullptr;
+    const std::string *metricsText = nullptr;
+    const std::string *traceText = nullptr; ///< trace_event JSON
     /// @}
 
     /** @name Parsed / compiled artifacts */
@@ -96,6 +103,11 @@ struct AnalysisInput
     const SharedAllocation *sharing = nullptr;
     const PipelinedLoop *kernel = nullptr;
     const ServeStats *serveStats = nullptr; ///< counter snapshot
+    const obs::MetricsSnapshot *metrics = nullptr;
+
+    /** Span trees grouped by trace, in tid order. */
+    const std::vector<std::vector<obs::TraceSpan>> *traceSpans =
+        nullptr;
     /// @}
 
     /** Latency model for parsing loop text (machine's if present). */

@@ -38,6 +38,10 @@ artifactKindName(ArtifactKind kind)
         return "kernel";
     case ArtifactKind::ServeStats:
         return "servestats";
+    case ArtifactKind::Metrics:
+        return "metrics";
+    case ArtifactKind::Trace:
+        return "trace";
     }
     return "?";
 }

@@ -43,6 +43,8 @@ enum class ArtifactKind : std::uint8_t {
     QueueAlloc,       ///< queue register allocation
     Kernel,           ///< pipelined kernel / emitted code
     ServeStats,       ///< serve/service.h counter snapshot
+    Metrics,          ///< obs/metrics.h `dmsmetrics v1` snapshot
+    Trace,            ///< obs/trace.h trace_event span export
 };
 
 /** Lower-case artifact mnemonic, e.g. "schedule". */

@@ -9,6 +9,7 @@
 #include "core/affinity.h"
 #include "core/chain.h"
 #include "core/comm.h"
+#include "obs/trace.h"
 #include "sched/mii.h"
 #include "sched/priority.h"
 #include "sched/worklist.h"
@@ -746,10 +747,19 @@ scheduleDms(const Ddg &ddg, const MachineModel &machine,
                   std::thread::hardware_concurrency() >= 2;
 
     DmsAttempt attempt(ddg, machine, params);
+    // Rung spans for the serial ladder only: the speculative walk
+    // runs attempts on pool threads whose interleaving is
+    // nondeterministic, so those stay uninstrumented (their
+    // thread-local trace is null anyway).
+    obs::Trace *tr =
+        obs::traceArmed() ? obs::currentTrace() : nullptr;
     for (int k = 0; k < total; ++k) {
         const int ii = out.sched.mii + k / restarts;
         const int v = k % restarts;
         ++out.sched.attempts;
+        obs::ScopedSpan rung(tr, "sched.attempt");
+        if (tr != nullptr)
+            rung.note(strfmt("ii=%d restart=%d", ii, v));
         // A beginAttempt failure is a recoverable "II below RecMII"
         // miss (hostile hint): record a failed attempt and climb.
         if (attempt.beginAttempt(ii, v) &&

@@ -253,6 +253,9 @@ Pipeline::run(const Loop &loop, const MachineModel &machine,
                        "stage '%s'",
                        loop.name.c_str(), stage.name));
         faultPoint(stage.faultSite.c_str());
+        // One span per stage; a throwing stage (injected fault,
+        // mid-stage cancel) unwinds through it and marks it failed.
+        obs::ScopedSpan span(ctx.trace, stage.name);
         if (!stage.fn(opts_, loop, machine, ctx))
             return false;
     }

@@ -32,6 +32,7 @@
 #include "codegen/kernel.h"
 #include "codegen/perf.h"
 #include "ir/prepass.h"
+#include "obs/trace.h"
 #include "regalloc/queue_alloc.h"
 #include "sched/scheduler.h"
 #include "support/faultinject.h"
@@ -110,6 +111,15 @@ class CompilationContext
      * Null (the default) is the zero-cost common case.
      */
     const CancelToken *cancel = nullptr;
+
+    /**
+     * Optional request trace: when non-null, Pipeline::run opens
+     * one span per stage (the same boundaries cancel polling and
+     * fault injection instrument) and the schedulers add II-ladder
+     * rung spans. Null (the default) is the zero-cost common case
+     * — tracing must never perturb a schedule.
+     */
+    obs::Trace *trace = nullptr;
 
     /**
      * The graph the schedule refers to: the scheduler's transformed

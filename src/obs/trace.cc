@@ -1,0 +1,581 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+
+#include "support/diag.h"
+#include "support/strings.h"
+
+namespace dms {
+namespace obs {
+
+namespace detail {
+std::atomic<int> g_traceArmed{0};
+} // namespace detail
+
+Trace::Trace() : t0_(std::chrono::steady_clock::now()) {}
+
+double
+Trace::nowUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+}
+
+int
+Trace::openSpan(const char *name)
+{
+    TraceSpan span;
+    span.name = name;
+    span.parent = open_.empty() ? -1 : open_.back();
+    span.startUs = nowUs();
+    const int id = static_cast<int>(spans_.size());
+    spans_.push_back(std::move(span));
+    open_.push_back(id);
+    return id;
+}
+
+void
+Trace::closeSpan(int id)
+{
+    if (id < 0 || id >= static_cast<int>(spans_.size()))
+        return;
+    DMS_ASSERT(!open_.empty() && open_.back() == id,
+               "trace spans must close in stack order");
+    spans_[static_cast<size_t>(id)].durUs =
+        nowUs() - spans_[static_cast<size_t>(id)].startUs;
+    open_.pop_back();
+}
+
+void
+Trace::failSpan(int id, const std::string &note)
+{
+    if (id < 0 || id >= static_cast<int>(spans_.size()))
+        return;
+    TraceSpan &span = spans_[static_cast<size_t>(id)];
+    span.failed = true;
+    if (!note.empty())
+        span.note = note;
+}
+
+void
+Trace::noteSpan(int id, std::string note)
+{
+    if (id < 0 || id >= static_cast<int>(spans_.size()))
+        return;
+    spans_[static_cast<size_t>(id)].note = std::move(note);
+}
+
+void
+Trace::finish()
+{
+    while (!open_.empty())
+        closeSpan(open_.back());
+}
+
+namespace {
+thread_local Trace *tl_currentTrace = nullptr;
+} // namespace
+
+Trace *
+currentTrace()
+{
+    return tl_currentTrace;
+}
+
+CurrentTraceScope::CurrentTraceScope(Trace *trace)
+    : previous_(tl_currentTrace)
+{
+    tl_currentTrace = trace;
+}
+
+CurrentTraceScope::~CurrentTraceScope()
+{
+    tl_currentTrace = previous_;
+}
+
+struct TraceLog::State
+{
+    mutable std::mutex mu;
+    int cap = 256;
+    std::deque<std::shared_ptr<const Trace>> traces;
+    std::uint64_t dropped = 0;
+};
+
+TraceLog::State &
+TraceLog::state() const
+{
+    static State s;
+    return s;
+}
+
+TraceLog &
+TraceLog::instance()
+{
+    static TraceLog log;
+    return log;
+}
+
+void
+TraceLog::setCap(int cap)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.cap = std::max(cap, 1);
+}
+
+void
+TraceLog::commit(std::shared_ptr<const Trace> trace)
+{
+    if (trace == nullptr)
+        return;
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (static_cast<int>(s.traces.size()) >= s.cap) {
+        ++s.dropped;
+        return;
+    }
+    s.traces.push_back(std::move(trace));
+}
+
+std::vector<std::shared_ptr<const Trace>>
+TraceLog::traces() const
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return std::vector<std::shared_ptr<const Trace>>(
+        s.traces.begin(), s.traces.end());
+}
+
+std::uint64_t
+TraceLog::dropped() const
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.dropped;
+}
+
+void
+TraceLog::clear()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.traces.clear();
+    s.dropped = 0;
+}
+
+void
+armTrace(int capTraces)
+{
+    TraceLog::instance().setCap(capTraces);
+    detail::g_traceArmed.store(1, std::memory_order_relaxed);
+}
+
+void
+disarmTrace()
+{
+    detail::g_traceArmed.store(0, std::memory_order_relaxed);
+}
+
+bool
+armTraceFromEnv()
+{
+    if (traceArmed())
+        return true;
+    if (envInt("DMS_TRACE", 0, /*lo=*/0) <= 0)
+        return false;
+    armTrace(envInt("DMS_TRACE_CAP", 256));
+    return true;
+}
+
+namespace {
+
+/** JSON string escape: quotes, backslashes, control bytes. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+tracesToJson(const std::vector<std::shared_ptr<const Trace>> &traces)
+{
+    std::string out = "[\n";
+    bool firstEvent = true;
+    int tid = 0;
+    for (const auto &trace : traces) {
+        ++tid;
+        if (trace == nullptr)
+            continue;
+        int id = -1;
+        for (const TraceSpan &span : trace->spans()) {
+            ++id;
+            if (!firstEvent)
+                out += ",\n";
+            firstEvent = false;
+            out += strfmt(
+                "{\"name\":\"%s\",\"cat\":\"dms\",\"ph\":\"X\","
+                "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,"
+                "\"args\":{\"id\":%d,\"parent\":%d,\"failed\":%d,"
+                "\"note\":\"%s\"}}",
+                jsonEscape(span.name).c_str(), span.startUs,
+                span.durUs, tid, id, span.parent,
+                span.failed ? 1 : 0,
+                jsonEscape(span.note).c_str());
+        }
+    }
+    out += "\n]\n";
+    return out;
+}
+
+namespace {
+
+/**
+ * Minimal strict parser for one tracesToJson event line (an object
+ * with string/number values and one nested "args" object). The
+ * cursor-based helpers return false on any malformation.
+ */
+struct JsonCursor
+{
+    const std::string &s;
+    size_t i = 0;
+
+    void
+    skipWs()
+    {
+        while (i < s.size() &&
+               (s[i] == ' ' || s[i] == '\t'))
+            ++i;
+    }
+
+    bool
+    eat(char c)
+    {
+        skipWs();
+        if (i >= s.size() || s[i] != c)
+            return false;
+        ++i;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipWs();
+        if (i >= s.size() || s[i] != '"')
+            return false;
+        ++i;
+        out.clear();
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\') {
+                if (i + 1 >= s.size())
+                    return false;
+                const char e = s[i + 1];
+                i += 2;
+                switch (e) {
+                case '"':
+                    out += '"';
+                    break;
+                case '\\':
+                    out += '\\';
+                    break;
+                case '/':
+                    out += '/';
+                    break;
+                case 'n':
+                    out += '\n';
+                    break;
+                case 't':
+                    out += '\t';
+                    break;
+                case 'r':
+                    out += '\r';
+                    break;
+                case 'u': {
+                    if (i + 4 > s.size())
+                        return false;
+                    unsigned code = 0;
+                    for (int k = 0; k < 4; ++k) {
+                        const char h = s[i + static_cast<size_t>(k)];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code += static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code += static_cast<unsigned>(h - 'a') +
+                                    10;
+                        else if (h >= 'A' && h <= 'F')
+                            code += static_cast<unsigned>(h - 'A') +
+                                    10;
+                        else
+                            return false;
+                    }
+                    i += 4;
+                    if (code > 0xff)
+                        return false; // only byte escapes emitted
+                    out += static_cast<char>(code);
+                    break;
+                }
+                default:
+                    return false;
+                }
+            } else {
+                out += s[i];
+                ++i;
+            }
+        }
+        if (i >= s.size())
+            return false;
+        ++i; // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(double &out)
+    {
+        skipWs();
+        const size_t start = i;
+        if (i < s.size() && s[i] == '-')
+            ++i;
+        while (i < s.size() &&
+               ((s[i] >= '0' && s[i] <= '9') || s[i] == '.' ||
+                s[i] == 'e' || s[i] == 'E' || s[i] == '+' ||
+                s[i] == '-'))
+            ++i;
+        if (i == start)
+            return false;
+        const std::string token = s.substr(start, i - start);
+        errno = 0;
+        char *end = nullptr;
+        out = std::strtod(token.c_str(), &end);
+        return errno == 0 && end == token.c_str() + token.size();
+    }
+};
+
+struct ParsedEvent
+{
+    std::string name;
+    std::string cat;
+    std::string ph;
+    double ts = 0;
+    double dur = 0;
+    int pid = 0;
+    int tid = 0;
+    int id = 0;
+    int parent = -1;
+    int failed = 0;
+    std::string note;
+};
+
+bool
+parseEventLine(const std::string &line, ParsedEvent &ev,
+               std::string &why)
+{
+    JsonCursor c{line};
+    if (!c.eat('{')) {
+        why = "event is not a JSON object";
+        return false;
+    }
+    bool first = true;
+    while (true) {
+        if (c.eat('}'))
+            break;
+        if (!first && !c.eat(',')) {
+            why = "missing ',' between keys";
+            return false;
+        }
+        first = false;
+        std::string key;
+        if (!c.parseString(key) || !c.eat(':')) {
+            why = "malformed key";
+            return false;
+        }
+        double num = 0;
+        if (key == "name" || key == "cat" || key == "ph") {
+            std::string value;
+            if (!c.parseString(value)) {
+                why = strfmt("bad string for '%s'", key.c_str());
+                return false;
+            }
+            if (key == "name")
+                ev.name = std::move(value);
+            else if (key == "cat")
+                ev.cat = std::move(value);
+            else
+                ev.ph = std::move(value);
+        } else if (key == "ts" || key == "dur" || key == "pid" ||
+                   key == "tid") {
+            if (!c.parseNumber(num)) {
+                why = strfmt("bad number for '%s'", key.c_str());
+                return false;
+            }
+            if (key == "ts")
+                ev.ts = num;
+            else if (key == "dur")
+                ev.dur = num;
+            else if (key == "pid")
+                ev.pid = static_cast<int>(num);
+            else
+                ev.tid = static_cast<int>(num);
+        } else if (key == "args") {
+            if (!c.eat('{')) {
+                why = "args is not an object";
+                return false;
+            }
+            bool argsFirst = true;
+            while (true) {
+                if (c.eat('}'))
+                    break;
+                if (!argsFirst && !c.eat(',')) {
+                    why = "missing ',' in args";
+                    return false;
+                }
+                argsFirst = false;
+                std::string akey;
+                if (!c.parseString(akey) || !c.eat(':')) {
+                    why = "malformed args key";
+                    return false;
+                }
+                if (akey == "note") {
+                    if (!c.parseString(ev.note)) {
+                        why = "bad string for 'note'";
+                        return false;
+                    }
+                } else if (akey == "id" || akey == "parent" ||
+                           akey == "failed") {
+                    if (!c.parseNumber(num)) {
+                        why = strfmt("bad number for '%s'",
+                                     akey.c_str());
+                        return false;
+                    }
+                    if (akey == "id")
+                        ev.id = static_cast<int>(num);
+                    else if (akey == "parent")
+                        ev.parent = static_cast<int>(num);
+                    else
+                        ev.failed = static_cast<int>(num);
+                } else {
+                    why = strfmt("unknown args key '%s'",
+                                 akey.c_str());
+                    return false;
+                }
+            }
+        } else {
+            why = strfmt("unknown key '%s'", key.c_str());
+            return false;
+        }
+    }
+    c.skipWs();
+    if (c.i != line.size()) {
+        why = "trailing bytes after event object";
+        return false;
+    }
+    if (ev.ph != "X") {
+        why = strfmt("unsupported phase '%s'", ev.ph.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+tracesFromJson(const std::string &json,
+               std::vector<std::vector<TraceSpan>> &out,
+               std::string &error)
+{
+    out.clear();
+    const std::vector<std::string> lines = split(json, '\n');
+    bool sawOpen = false;
+    bool sawClose = false;
+    int currentTid = 0;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const int lineno = static_cast<int>(i) + 1;
+        std::string line = trim(lines[i]);
+        if (line.empty())
+            continue;
+        if (line == "[") {
+            if (sawOpen) {
+                error = strfmt("line %d: duplicate '['", lineno);
+                return false;
+            }
+            sawOpen = true;
+            continue;
+        }
+        if (line == "]") {
+            sawClose = true;
+            continue;
+        }
+        if (!sawOpen || sawClose) {
+            error = strfmt("line %d: event outside the array",
+                           lineno);
+            return false;
+        }
+        if (!line.empty() && line.back() == ',')
+            line.pop_back();
+        ParsedEvent ev;
+        std::string why;
+        if (!parseEventLine(line, ev, why)) {
+            error = strfmt("line %d: %s", lineno, why.c_str());
+            return false;
+        }
+        if (ev.tid <= 0) {
+            error = strfmt("line %d: bad tid %d", lineno, ev.tid);
+            return false;
+        }
+        if (ev.tid != currentTid) {
+            out.emplace_back();
+            currentTid = ev.tid;
+        }
+        TraceSpan span;
+        span.name = std::move(ev.name);
+        span.parent = ev.parent;
+        span.startUs = ev.ts;
+        span.durUs = ev.dur;
+        span.failed = ev.failed != 0;
+        span.note = std::move(ev.note);
+        span.srcLine = lineno;
+        out.back().push_back(std::move(span));
+    }
+    if (!sawOpen || !sawClose) {
+        error = "missing '[' or ']' array delimiter";
+        return false;
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace dms

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "sched/mii.h"
 #include "sched/priority.h"
 #include "sched/worklist.h"
@@ -98,8 +99,16 @@ runIms(const Ddg &ddg, const MachineModel &machine,
     auto ps = std::make_unique<PartialSchedule>(ddg, machine,
                                                 std::max(out.mii, 1));
     ImsArena arena;
+    // Rung spans ride the worker's thread-local trace; the armed
+    // check is hoisted so the disarmed ladder pays one relaxed
+    // load for the whole search.
+    obs::Trace *tr =
+        obs::traceArmed() ? obs::currentTrace() : nullptr;
     for (int ii = out.mii; ii <= max_ii; ++ii) {
         ++out.attempts;
+        obs::ScopedSpan rung(tr, "sched.attempt");
+        if (tr != nullptr)
+            rung.note(strfmt("ii=%d", ii));
         ps->reset(ii);
         if (imsPass(ddg, ii, budget, assignment, *ps, arena,
                     out.budgetUsed)) {

@@ -14,6 +14,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/trace.h"
 #include "support/diag.h"
 #include "support/faultinject.h"
 #include "support/strings.h"
@@ -161,6 +162,14 @@ wireRequestToLine(const WireRequest &req)
         line += "\tstats";
         return line;
     }
+    if (req.verb == WireRequest::Verb::Metrics) {
+        line += "\tmetrics";
+        return line;
+    }
+    if (req.verb == WireRequest::Verb::Trace) {
+        line += "\ttrace";
+        return line;
+    }
     const CompileRequest &r = req.request;
     line += "\tcompile";
     appendField(line, "loop", r.loopText);
@@ -196,6 +205,24 @@ wireRequestFromLine(const std::string &line, WireRequest &out,
             return false;
         }
         parsed.verb = WireRequest::Verb::Stats;
+        out = parsed;
+        return true;
+    }
+    if (tokens[1] == "metrics") {
+        if (tokens.size() != 2) {
+            error = "metrics takes no fields";
+            return false;
+        }
+        parsed.verb = WireRequest::Verb::Metrics;
+        out = parsed;
+        return true;
+    }
+    if (tokens[1] == "trace") {
+        if (tokens.size() != 2) {
+            error = "trace takes no fields";
+            return false;
+        }
+        parsed.verb = WireRequest::Verb::Trace;
         out = parsed;
         return true;
     }
@@ -479,6 +506,70 @@ wireStatsFromLine(const std::string &line, std::string &statsText,
     return true;
 }
 
+std::string
+wireMetricsToLine(const std::string &metricsText)
+{
+    std::string line = kMagic;
+    line += "\tmetricsr";
+    appendField(line, "text", metricsText);
+    return line;
+}
+
+bool
+wireMetricsFromLine(const std::string &line,
+                    std::string &metricsText, std::string &error)
+{
+    const std::vector<std::string> tokens = split(line, '\t');
+    if (tokens.size() != 3 || tokens[0] != kMagic ||
+        tokens[1] != "metricsr") {
+        error = "not a metrics response line";
+        return false;
+    }
+    std::string_view key;
+    std::string_view value;
+    if (!splitField(tokens[2], key, value) || key != "text") {
+        error = "metrics response wants text=";
+        return false;
+    }
+    if (!wireUnescape(value, metricsText)) {
+        error = "bad escape in metrics text";
+        return false;
+    }
+    return true;
+}
+
+std::string
+wireTraceToLine(const std::string &traceJson)
+{
+    std::string line = kMagic;
+    line += "\ttracer";
+    appendField(line, "text", traceJson);
+    return line;
+}
+
+bool
+wireTraceFromLine(const std::string &line, std::string &traceJson,
+                  std::string &error)
+{
+    const std::vector<std::string> tokens = split(line, '\t');
+    if (tokens.size() != 3 || tokens[0] != kMagic ||
+        tokens[1] != "tracer") {
+        error = "not a trace response line";
+        return false;
+    }
+    std::string_view key;
+    std::string_view value;
+    if (!splitField(tokens[2], key, value) || key != "text") {
+        error = "trace response wants text=";
+        return false;
+    }
+    if (!wireUnescape(value, traceJson)) {
+        error = "bad escape in trace text";
+        return false;
+    }
+    return true;
+}
+
 namespace {
 
 /** Write all of @p data to @p fd; false on any error. */
@@ -681,6 +772,14 @@ struct NetServer::Impl
         if (wire.verb == WireRequest::Verb::Stats)
             return wireStatsToLine(serveStatsToText(snapshot()));
 
+        if (wire.verb == WireRequest::Verb::Metrics)
+            return wireMetricsToLine(
+                obs::metricsToText(metricsSnapshot()));
+
+        if (wire.verb == WireRequest::Verb::Trace)
+            return wireTraceToLine(obs::tracesToJson(
+                obs::TraceLog::instance().traces()));
+
         // The network request rides the same machinery as an
         // in-process one: trySubmit keeps the bounded queue the
         // backpressure point (overload answers Rejected), and the
@@ -706,6 +805,13 @@ struct NetServer::Impl
         } else {
             result = ticket.future.get();
         }
+        // Wire requests land in the same latency histogram as
+        // in-process compile() calls, so the stats and metrics
+        // verbs report real serving latencies for a pure daemon.
+        const auto t1 = std::chrono::steady_clock::now();
+        service.recordLatencyMs(
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count());
         return wireResultToLine(*result);
     }
 
@@ -721,6 +827,26 @@ struct NetServer::Impl
         s.netBytesIn = bytesIn.load(std::memory_order_relaxed);
         s.netBytesOut = bytesOut.load(std::memory_order_relaxed);
         return s;
+    }
+
+    obs::MetricsSnapshot
+    metricsSnapshot() const
+    {
+        obs::MetricsSnapshot snap = service.metrics();
+        snap.addCounter(
+            "net.connections",
+            connections.load(std::memory_order_relaxed));
+        snap.addCounter("net.requests",
+                        requests.load(std::memory_order_relaxed));
+        snap.addCounter(
+            "net.framing_rejects",
+            framingRejects.load(std::memory_order_relaxed));
+        snap.addCounter("net.bytes_in",
+                        bytesIn.load(std::memory_order_relaxed));
+        snap.addCounter("net.bytes_out",
+                        bytesOut.load(std::memory_order_relaxed));
+        snap.sortByName();
+        return snap;
     }
 };
 
@@ -812,6 +938,12 @@ ServeStats
 NetServer::stats() const
 {
     return impl_->snapshot();
+}
+
+obs::MetricsSnapshot
+NetServer::metrics() const
+{
+    return impl_->metricsSnapshot();
 }
 
 NetClient::NetClient() = default;
@@ -940,6 +1072,36 @@ NetClient::fetchStats(std::string &text, std::string &error)
     if (!roundTrip(wireRequestToLine(wire), response, error))
         return false;
     if (!wireStatsFromLine(response, text, error)) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+NetClient::fetchMetrics(std::string &text, std::string &error)
+{
+    WireRequest wire;
+    wire.verb = WireRequest::Verb::Metrics;
+    std::string response;
+    if (!roundTrip(wireRequestToLine(wire), response, error))
+        return false;
+    if (!wireMetricsFromLine(response, text, error)) {
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+NetClient::fetchTrace(std::string &text, std::string &error)
+{
+    WireRequest wire;
+    wire.verb = WireRequest::Verb::Trace;
+    std::string response;
+    if (!roundTrip(wireRequestToLine(wire), response, error))
+        return false;
+    if (!wireTraceFromLine(response, text, error)) {
         close();
         return false;
     }

@@ -27,6 +27,8 @@
  *          [<TAB> uops=<int>]  [<TAB> verify=<0|1>]
  *          [<TAB> ra=<0|1>]    [<TAB> cg=<0|1>]
  *     dms1 <TAB> stats
+ *     dms1 <TAB> metrics
+ *     dms1 <TAB> trace
  *
  * Responses:
  *
@@ -36,6 +38,8 @@
  *          copies=.. iter=.. cycles=.. useful=.. qfiles=..
  *          qreq=.. qstore=.. qlink=.. <TAB> kernel=<esc>
  *     dms1 <TAB> statsr <TAB> text=<esc serveStatsToText>
+ *     dms1 <TAB> metricsr <TAB> text=<esc metricsToText>
+ *     dms1 <TAB> tracer <TAB> text=<esc tracesToJson>
  *
  * The result line carries every LoopRun field plus the emitted
  * kernel text, so a TCP round trip is bit-identical to the
@@ -78,6 +82,8 @@ struct WireRequest
     enum class Verb : std::uint8_t {
         Compile, ///< one CompileRequest
         Stats,   ///< server stats snapshot
+        Metrics, ///< full metrics snapshot (dmsmetrics v1 text)
+        Trace,   ///< collected traces (Chrome trace_event JSON)
     };
 
     Verb verb = Verb::Compile;
@@ -108,6 +114,21 @@ std::string wireStatsToLine(const std::string &statsText);
 /** Parse a stats response line back into the snapshot text. */
 bool wireStatsFromLine(const std::string &line,
                        std::string &statsText, std::string &error);
+
+/** Serialize a metrics-snapshot response line. */
+std::string wireMetricsToLine(const std::string &metricsText);
+
+/** Parse a metrics response line back into the snapshot text. */
+bool wireMetricsFromLine(const std::string &line,
+                         std::string &metricsText,
+                         std::string &error);
+
+/** Serialize a trace-export response line (trace_event JSON). */
+std::string wireTraceToLine(const std::string &traceJson);
+
+/** Parse a trace response line back into the JSON text. */
+bool wireTraceFromLine(const std::string &line,
+                       std::string &traceJson, std::string &error);
 
 /** Network front-end shape knobs. */
 struct NetServerOptions
@@ -164,6 +185,13 @@ class NetServer
      */
     ServeStats stats() const;
 
+    /**
+     * The service's metrics snapshot with this front-end's five
+     * net.* counters appended (re-sorted) — the snapshot the
+     * `metrics` verb serves and dmsd writes via --metrics-out.
+     */
+    obs::MetricsSnapshot metrics() const;
+
   private:
     struct Impl;
     std::unique_ptr<Impl> impl_;
@@ -208,6 +236,12 @@ class NetClient
 
     /** One stats round trip; @p text gets the snapshot. */
     bool fetchStats(std::string &text, std::string &error);
+
+    /** One metrics round trip; @p text gets dmsmetrics v1 text. */
+    bool fetchMetrics(std::string &text, std::string &error);
+
+    /** One trace round trip; @p text gets trace_event JSON. */
+    bool fetchTrace(std::string &text, std::string &error);
 
   private:
     bool roundTrip(const std::string &line, std::string &response,

@@ -12,6 +12,8 @@
 
 #include "codegen/emit.h"
 #include "machine/desc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/diag.h"
 #include "support/faultinject.h"
 #include "support/strings.h"
@@ -34,6 +36,13 @@ struct Job
     PipelineOptions options;
     /** Non-null when the request carried a deadline. */
     std::shared_ptr<CancelToken> cancel;
+
+    /**
+     * Non-null when tracing was armed at submit: the worker binds
+     * it to the pipeline, closes it, and commits it to the
+     * TraceLog. The queue's push/pop pair orders the handoff.
+     */
+    std::shared_ptr<obs::Trace> trace;
 
     Job(std::shared_ptr<CacheEntry> e, std::string k,
         std::uint64_t h, Loop l, MachineModel m, PipelineOptions o,
@@ -237,12 +246,26 @@ struct CompileService::Impl
           cache(o.shards, o.cacheCapacity, o.eviction),
           aliases(o.shards, o.cacheCapacity, o.eviction),
           workerCount(o.workers > 0 ? o.workers
-                                    : ThreadPool::defaultJobs())
+                                    : ThreadPool::defaultJobs()),
+          requests(metricsReg.counter("serve.requests")),
+          hits(metricsReg.counter("serve.hits")),
+          coalesced(metricsReg.counter("serve.coalesced")),
+          misses(metricsReg.counter("serve.misses")),
+          invalid(metricsReg.counter("serve.invalid")),
+          failed(metricsReg.counter("serve.failed")),
+          expired(metricsReg.counter("serve.expired")),
+          shed(metricsReg.counter("serve.shed")),
+          quarantined(metricsReg.counter("serve.quarantined")),
+          schedAttempts(
+              metricsReg.counter("serve.sched_attempts")),
+          latenciesMs(metricsReg.histogram("serve.latency_ms"))
     {
-        // Honor DMS_FAULTS for any binary hosting a service, so
-        // the chaos surfaces (CI smoke, dmsd) need no plumbing.
-        // Idempotent and a no-op when the knob is unset.
+        // Honor DMS_FAULTS and DMS_TRACE for any binary hosting a
+        // service, so the chaos and tracing surfaces (CI smoke,
+        // dmsd) need no plumbing. Idempotent and a no-op when the
+        // knobs are unset.
         armFaultsFromEnv();
+        obs::armTraceFromEnv();
         workers.reserve(static_cast<size_t>(workerCount));
         for (int w = 0; w < workerCount; ++w)
             workers.emplace_back([this] { workerLoop(); });
@@ -273,21 +296,37 @@ struct CompileService::Impl
     {
         auto result = std::make_shared<CompileResult>();
         result->parsed = true;
+        std::shared_ptr<obs::Trace> trace = std::move(job.trace);
+        obs::Trace *tr = trace.get();
 
         // A throwing compile must resolve the request as a
         // structured result, never unwind the worker thread: the
         // catch blocks below are the service's fault boundary.
         const auto t0 = std::chrono::steady_clock::now();
         try {
+            // The compile span wraps the whole fault boundary so
+            // an injected fault or deadline expiry unwinds through
+            // it and marks it failed; CurrentTraceScope lets the
+            // schedulers' II-ladder rungs find the trace without
+            // plumbing it through every signature.
+            obs::ScopedSpan span(tr, "compile");
+            obs::CurrentTraceScope tls(tr);
             faultPoint("serve.worker.compile");
             if (job.cancel != nullptr && job.cancel->cancelled())
                 throw CancelledError(
                     "deadline expired before compile start");
             Pipeline pipeline(job.options);
             ctx.cancel = job.cancel.get();
+            ctx.trace = tr;
             result->run =
                 runLoop(pipeline, job.loop, job.machine, ctx);
+            ctx.trace = nullptr;
             ctx.cancel = nullptr;
+            // ctx.result is this request's scheduler outcome only
+            // on the non-throwing path (contexts are reused), so
+            // the attempt counter accumulates here.
+            schedAttempts.inc(static_cast<std::uint64_t>(
+                std::max(ctx.result.sched.attempts, 0)));
             result->ok = result->run.ok;
             result->status = result->ok
                                  ? CompileStatus::Ok
@@ -298,18 +337,27 @@ struct CompileService::Impl
                     ctx.queuesValid ? &ctx.queues : nullptr);
             }
         } catch (const CancelledError &e) {
+            ctx.trace = nullptr;
             ctx.cancel = nullptr;
             result->status = CompileStatus::Expired;
             result->error = e.what();
+            if (tr != nullptr)
+                tr->failSpan(0, "cancelled");
         } catch (const InjectedFault &e) {
+            ctx.trace = nullptr;
             ctx.cancel = nullptr;
             result->status = CompileStatus::Failed;
             result->error = e.what();
             result->failSite = e.site();
+            if (tr != nullptr)
+                tr->failSpan(0, e.site());
         } catch (const std::exception &e) {
+            ctx.trace = nullptr;
             ctx.cancel = nullptr;
             result->status = CompileStatus::Failed;
             result->error = e.what();
+            if (tr != nullptr)
+                tr->failSpan(0, "exception");
         }
 
         // Stamp the measured compile latency before the entry
@@ -323,6 +371,11 @@ struct CompileService::Impl
 
         finishCompile(job.entry, job.key, job.hash,
                       std::move(result));
+
+        if (trace != nullptr) {
+            trace->finish();
+            obs::TraceLog::instance().commit(std::move(trace));
+        }
     }
 
     /**
@@ -341,11 +394,11 @@ struct CompileService::Impl
         const CompileStatus status = result->status;
         switch (status) {
         case CompileStatus::Failed:
-            bump(failed);
+            failed.inc();
             notePoison(key, /*compileFailed=*/true);
             break;
         case CompileStatus::Expired:
-            bump(expired);
+            expired.inc();
             notePoison(key, /*compileFailed=*/false);
             break;
         case CompileStatus::Ok:
@@ -423,13 +476,6 @@ struct CompileService::Impl
         return true;
     }
 
-    std::uint64_t
-    bump(std::uint64_t &counter)
-    {
-        std::lock_guard<std::mutex> lock(statsMu);
-        return ++counter;
-    }
-
     ServeOptions opts;
     JobQueue queue;
 
@@ -448,18 +494,28 @@ struct CompileService::Impl
     int workerCount;
     std::vector<std::thread> workers;
 
-    mutable std::mutex statsMu;
-    std::uint64_t requests = 0;
-    std::uint64_t hits = 0;
-    std::uint64_t coalesced = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t invalid = 0;
-    std::uint64_t failed = 0;
-    std::uint64_t expired = 0;
-    std::uint64_t shed = 0;
-    std::uint64_t quarantined = 0;
-    /** Reservoir-capped: a long-lived service must not grow. */
-    Samples latenciesMs{std::uint64_t(1) << 16};
+    /**
+     * The stats cells, all registered here. Hot paths hold the
+     * direct references below — one relaxed fetch_add per count,
+     * one wait-free histogram record per latency; no mutex on any
+     * request path (the old statsMu + exact Samples store is gone;
+     * Samples survives in support/stats.h for tests and the
+     * loadgen's client-side percentiles).
+     */
+    obs::MetricsRegistry metricsReg;
+    obs::Counter &requests;
+    obs::Counter &hits;
+    obs::Counter &coalesced;
+    obs::Counter &misses;
+    obs::Counter &invalid;
+    obs::Counter &failed;
+    obs::Counter &expired;
+    obs::Counter &shed;
+    obs::Counter &quarantined;
+    /** Ladder attempts of completed compiles (ims/dms alike). */
+    obs::Counter &schedAttempts;
+    /** End-to-end compile() latency; fixed memory, lock-free. */
+    obs::LatencyHistogram &latenciesMs;
 
     /**
      * Overload indicator: shed -> true; a push that observes the
@@ -578,8 +634,31 @@ CompileService::Ticket
 CompileService::Impl::submitImpl(const CompileRequest &request,
                                  int shedWaitMs, bool shedding)
 {
-    bump(requests);
+    requests.inc();
     Ticket ticket;
+
+    // Per-request trace, created only when armed (one relaxed
+    // load on the disarmed path). The guard commits the finished
+    // trace on every return and every throw out of this frame —
+    // except when ownership was handed to a worker via the job.
+    struct TraceCommit
+    {
+        std::shared_ptr<obs::Trace> trace;
+        ~TraceCommit()
+        {
+            if (trace != nullptr) {
+                trace->finish();
+                obs::TraceLog::instance().commit(
+                    std::move(trace));
+            }
+        }
+    } commit;
+    obs::Trace *tr = nullptr;
+    if (obs::traceArmed()) {
+        commit.trace = std::make_shared<obs::Trace>();
+        tr = commit.trace.get();
+        tr->openSpan("request");
+    }
 
     auto immediate = [&](CompileStatus status, std::string why,
                          Source source,
@@ -613,17 +692,21 @@ CompileService::Impl::submitImpl(const CompileRequest &request,
         raw_key += '\x01';
         raw_key += optionsKeyPart(request.options);
         const std::uint64_t raw_hash = fnv1a64(raw_key);
-        faultPoint("serve.cache.lookup");
-        if (std::shared_ptr<CacheEntry> alias =
-                aliases.find(raw_key, raw_hash)) {
+        std::shared_ptr<CacheEntry> alias;
+        {
+            obs::ScopedSpan span(tr, "cache.lookup");
+            faultPoint("serve.cache.lookup");
+            alias = aliases.find(raw_key, raw_hash);
+        }
+        if (alias != nullptr) {
             ticket.future = alias->future;
             ticket.key = raw_hash;
             if (alias->ready.load(std::memory_order_acquire)) {
                 ticket.source = Source::Hit;
-                bump(hits);
+                hits.inc();
             } else {
                 ticket.source = Source::Coalesced;
-                bump(coalesced);
+                coalesced.inc();
             }
             return ticket;
         }
@@ -634,7 +717,7 @@ CompileService::Impl::submitImpl(const CompileRequest &request,
         // scheduler choice, and the pipeline-reachable panics
         // (validateRequest) — is answered with an error result.
         auto reject = [&](std::string why) -> Ticket {
-            bump(invalid);
+            invalid.inc();
             return immediate(CompileStatus::Invalid,
                              std::move(why), Source::Invalid);
         };
@@ -690,7 +773,7 @@ CompileService::Impl::submitImpl(const CompileRequest &request,
         ticket.key = fnv1a64(key);
 
         if (quarantineReject(key)) {
-            bump(quarantined);
+            quarantined.inc();
             return immediate(
                 CompileStatus::Quarantined,
                 strfmt("key quarantined after %d consecutive "
@@ -700,30 +783,33 @@ CompileService::Impl::submitImpl(const CompileRequest &request,
         }
 
         std::shared_ptr<CacheEntry> entry;
-        ResultCache::Lookup found =
-            cache.acquire(key, ticket.key, entry);
-        ticket.future = entry->future;
-        if (found == ResultCache::Lookup::Inserted) {
-            owned = entry;
-            ownedKey = key;
-            ownedHash = ticket.key;
+        ResultCache::Lookup found;
+        {
+            obs::ScopedSpan span(tr, "cache.insert");
+            found = cache.acquire(key, ticket.key, entry);
+            ticket.future = entry->future;
+            if (found == ResultCache::Lookup::Inserted) {
+                owned = entry;
+                ownedKey = key;
+                ownedHash = ticket.key;
+            }
+            faultPoint("serve.cache.insert");
+            aliases.insertAlias(raw_key, raw_hash, entry);
         }
-        faultPoint("serve.cache.insert");
-        aliases.insertAlias(raw_key, raw_hash, entry);
         switch (found) {
         case ResultCache::Lookup::Hit:
             ticket.source = Source::Hit;
-            bump(hits);
+            hits.inc();
             return ticket;
         case ResultCache::Lookup::InFlight:
             ticket.source = Source::Coalesced;
-            bump(coalesced);
+            coalesced.inc();
             return ticket;
         case ResultCache::Lookup::Inserted:
             break;
         }
         ticket.source = Source::Miss;
-        bump(misses);
+        misses.inc();
 
         std::shared_ptr<CancelToken> cancel;
         if (request.deadlineMs > 0) {
@@ -738,7 +824,14 @@ CompileService::Impl::submitImpl(const CompileRequest &request,
                     std::move(machine), std::move(options),
                     std::move(cancel)));
 
-        faultPoint("serve.queue.push");
+        {
+            // The span closes before the handoff below: once the
+            // job is in the queue a worker may own the trace, so
+            // this thread must not touch it afterwards.
+            obs::ScopedSpan span(tr, "queue.push");
+            faultPoint("serve.queue.push");
+        }
+        job->trace = std::move(commit.trace);
         bool pushed = true;
         if (shedding)
             pushed = queue.tryPush(job, shedWaitMs);
@@ -747,8 +840,12 @@ CompileService::Impl::submitImpl(const CompileRequest &request,
         if (!pushed) {
             // Shed. The entry this request created must resolve
             // (coalesced waiters!) and retire so the next request
-            // for the key retries.
-            bump(shed);
+            // for the key retries. The unconsumed job hands the
+            // trace back for this thread to commit.
+            commit.trace = std::move(job->trace);
+            if (tr != nullptr)
+                tr->failSpan(0, "shed");
+            shed.inc();
             degraded.store(true, std::memory_order_release);
             auto result = std::make_shared<CompileResult>();
             result->status = CompileStatus::Rejected;
@@ -766,6 +863,8 @@ CompileService::Impl::submitImpl(const CompileRequest &request,
             degraded.store(false, std::memory_order_release);
         return ticket;
     } catch (const InjectedFault &e) {
+        if (tr != nullptr)
+            tr->failSpan(0, e.site());
         if (owned != nullptr) {
             auto result = std::make_shared<CompileResult>();
             result->status = CompileStatus::Failed;
@@ -778,10 +877,12 @@ CompileService::Impl::submitImpl(const CompileRequest &request,
             ticket.source = Source::Failed;
             return ticket;
         }
-        bump(failed);
+        failed.inc();
         return immediate(CompileStatus::Failed, e.what(),
                          Source::Failed, e.site());
     } catch (const CancelledError &e) {
+        if (tr != nullptr)
+            tr->failSpan(0, "cancelled");
         if (owned != nullptr) {
             auto result = std::make_shared<CompileResult>();
             result->status = CompileStatus::Expired;
@@ -793,7 +894,7 @@ CompileService::Impl::submitImpl(const CompileRequest &request,
             ticket.source = Source::Expired;
             return ticket;
         }
-        bump(expired);
+        expired.inc();
         return immediate(CompileStatus::Expired, e.what(),
                          Source::Expired);
     }
@@ -834,7 +935,7 @@ CompileService::compile(const CompileRequest &request)
         expired->parsed = true;
         expired->error = strfmt("deadline of %d ms exceeded",
                                 request.deadlineMs);
-        impl_->bump(impl_->expired);
+        impl_->expired.inc();
         result = std::move(expired);
     } else {
         result = ticket.future.get();
@@ -842,40 +943,44 @@ CompileService::compile(const CompileRequest &request)
     auto t1 = std::chrono::steady_clock::now();
     double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
-    {
-        std::lock_guard<std::mutex> lock(impl_->statsMu);
-        impl_->latenciesMs.add(ms);
-    }
+    // Wait-free: one bucket fetch_add, no lock, no allocation.
+    impl_->latenciesMs.record(ms);
     return result;
+}
+
+void
+CompileService::recordLatencyMs(double ms)
+{
+    impl_->latenciesMs.record(ms);
 }
 
 ServeStats
 CompileService::stats() const
 {
     ServeStats out;
-    // Copy the sample store under the lock, rank outside it: the
-    // percentile selects are O(reservoir) each and must not stall
-    // every concurrent compile()/submit() on statsMu.
-    Samples latencies;
-    {
-        std::lock_guard<std::mutex> lock(impl_->statsMu);
-        out.requests = impl_->requests;
-        out.hits = impl_->hits;
-        out.coalesced = impl_->coalesced;
-        out.misses = impl_->misses;
-        out.invalid = impl_->invalid;
-        out.failed = impl_->failed;
-        out.expired = impl_->expired;
-        out.shed = impl_->shed;
-        out.quarantined = impl_->quarantined;
-        latencies = impl_->latenciesMs;
-    }
+    // The whole snapshot is relaxed atomic reads — no lock is
+    // taken and no sample store is copied, so concurrent
+    // compile()/submit() traffic never stalls on a stats poll
+    // (the stats_snapshot_ns bench row measures this). The
+    // histogram is swept before the counters so its sample count
+    // can never exceed the request count it is compared against.
+    const obs::HistogramSnapshot latencies =
+        impl_->latenciesMs.snapshot();
+    out.requests = impl_->requests.value();
+    out.hits = impl_->hits.value();
+    out.coalesced = impl_->coalesced.value();
+    out.misses = impl_->misses.value();
+    out.invalid = impl_->invalid.value();
+    out.failed = impl_->failed.value();
+    out.expired = impl_->expired.value();
+    out.shed = impl_->shed.value();
+    out.quarantined = impl_->quarantined.value();
     out.rejected = out.shed + out.quarantined;
-    out.latencySamples = latencies.count();
+    out.latencySamples = latencies.count;
     out.p50Ms = latencies.percentile(50);
     out.p90Ms = latencies.percentile(90);
     out.p99Ms = latencies.percentile(99);
-    out.maxMs = latencies.max();
+    out.maxMs = latencies.maxMs;
     out.meanMs = latencies.mean();
     out.evictions = impl_->cache.evictions() +
                     impl_->aliases.evictions();
@@ -887,6 +992,39 @@ CompileService::stats() const
     out.peakQueueDepth = impl_->queue.peak();
     out.queueCapacity = opts_.queueDepth;
     return out;
+}
+
+obs::MetricsSnapshot
+CompileService::metrics() const
+{
+    // The registry sweeps its histograms before its counters, so
+    // serve.latency_ms.count <= serve.requests holds even against
+    // concurrent recording — the identity obs.metrics-consistency
+    // lints.
+    obs::MetricsSnapshot snap = impl_->metricsReg.snapshot();
+    snap.addCounter("cache.evictions",
+                    impl_->cache.evictions() +
+                        impl_->aliases.evictions());
+    snap.addCounter("cache.retired", impl_->cache.retired() +
+                                         impl_->aliases.retired());
+    snap.addGauge("cache.entries",
+                  static_cast<double>(impl_->cache.size()));
+    snap.addGauge("serve.degraded",
+                  impl_->degraded.load(std::memory_order_relaxed)
+                      ? 1.0
+                      : 0.0);
+    snap.addGauge("serve.queue_depth",
+                  static_cast<double>(impl_->queue.depth()));
+    snap.addGauge("serve.queue_depth_peak",
+                  static_cast<double>(impl_->queue.peak()));
+    snap.addGauge("serve.queue_capacity",
+                  static_cast<double>(opts_.queueDepth));
+    for (const FaultSiteStats &f : faultStats()) {
+        snap.addCounter("fault." + f.site + ".hits", f.hits);
+        snap.addCounter("fault." + f.site + ".fired", f.fired);
+    }
+    snap.sortByName();
+    return snap;
 }
 
 std::string

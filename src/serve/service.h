@@ -35,6 +35,7 @@
 
 #include "core/pipeline.h"
 #include "eval/runner.h"
+#include "obs/metrics.h"
 #include "serve/cache.h"
 #include "support/stats.h"
 
@@ -308,8 +309,25 @@ class CompileService
      */
     ResultPtr compile(const CompileRequest &request);
 
+    /**
+     * Record one end-to-end request latency into the serving
+     * histogram. compile() calls it for in-process requests; the
+     * network front-end calls it per request line, so the stats
+     * and metrics verbs report wire latencies too. Wait-free.
+     */
+    void recordLatencyMs(double ms);
+
     /** Snapshot of the counters and latency percentiles. */
     ServeStats stats() const;
+
+    /**
+     * Full metrics snapshot ("dmsmetrics v1" via metricsToText):
+     * every serve.* counter, the serve.latency_ms histogram, the
+     * queue/cache gauges, the scheduler-attempt counter, and one
+     * fault.<site>.{hits,fired} counter pair per observed fault
+     * site. Lock-free sweep of the same cells stats() reads.
+     */
+    obs::MetricsSnapshot metrics() const;
 
     const ServeOptions &options() const { return opts_; }
 

@@ -36,16 +36,19 @@ class Accumulator
 };
 
 /**
- * Sample store with percentile extraction, used for service
- * latency distributions. With a non-zero @p cap the store keeps a
- * uniform reservoir (algorithm R, deterministic LCG) of that many
- * samples, so memory stays bounded on a long-lived service while
- * count/mean/max remain exact over every sample ever added and
- * percentiles are unbiased estimates. cap 0 keeps everything
- * (exact percentiles). Not thread-safe: callers that share one
- * instance across threads hold their own lock (the serve stats
- * path does). Percentiles use the nearest-rank definition on a
- * scratch copy, so add() stays O(1) on the hot path.
+ * Sample store with exact percentile extraction, used by the
+ * bench harnesses and the load-generator clients. With a non-zero
+ * @p cap the store keeps a uniform reservoir (algorithm R,
+ * deterministic LCG) of that many samples, so memory stays
+ * bounded over a long run while count/mean/max remain exact over
+ * every sample ever added and percentiles are unbiased estimates.
+ * cap 0 keeps everything (exact percentiles). Not thread-safe:
+ * callers that share one instance across threads hold their own
+ * lock. The serve hot path records into the wait-free
+ * obs::LatencyHistogram instead and keeps this class as the exact
+ * oracle its accuracy tests compare against. Percentiles use the
+ * nearest-rank definition on a scratch copy, so add() stays O(1)
+ * on the hot path.
  */
 class Samples
 {

@@ -63,6 +63,10 @@ lintCorpusFile(const std::string &name)
         lintMachineText(text, name, sink);
     else if (endsWith(name, ".stats"))
         lintServeStatsText(text, name, sink);
+    else if (endsWith(name, ".metrics"))
+        lintMetricsText(text, name, sink);
+    else if (endsWith(name, ".trace"))
+        lintTraceText(text, name, sink);
     else
         lintLoopText(text, name, sink);
     return sink;
@@ -83,7 +87,7 @@ fired(const DiagnosticSink &sink, const std::string &id)
     return firedIds(sink).count(id) > 0;
 }
 
-/** Every .machine/.mtmpl/.loop/.stats case of the corpus. */
+/** Every .machine/.mtmpl/.loop/.stats/.metrics/.trace case. */
 const std::vector<std::string> &
 corpusCases()
 {
@@ -94,6 +98,7 @@ corpusCases()
         "store_no_value.loop",    "dead_op.loop",
         "dangling_operand.loop",  "noncanonical.loop",
         "inconsistent.stats",     "inconsistent_net.stats",
+        "undercount.metrics",     "misnested.trace",
     };
     return kCases;
 }
@@ -204,6 +209,8 @@ TEST(CheckRegistry, AllIdsRegisteredAndSorted)
         "machine.latency-nonpositive",
         "machine.parse",
         "machine.template-expand",
+        "obs.metrics-consistency",
+        "obs.trace-nesting",
         "queue.file-recount",
         "queue.index-overlap",
         "queue.location",
@@ -289,6 +296,8 @@ TEST(LintCorpus, EachCaseFlagsItsCheckWithLocation)
         {"noncanonical.loop", "loop.noncanonical-text", 0},
         {"inconsistent.stats", "serve.stats-consistency", 0},
         {"inconsistent_net.stats", "serve.stats-consistency", 0},
+        {"undercount.metrics", "obs.metrics-consistency", 6},
+        {"misnested.trace", "obs.trace-nesting", 0},
     };
     for (const Want &w : wants) {
         const DiagnosticSink sink = lintCorpusFile(w.file);

@@ -14,10 +14,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdint>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "analysis/analyze.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 #include "core/dms.h"
 #include "machine/desc.h"
@@ -392,6 +399,144 @@ TEST(NetServer, TcpRoundTripIsBitIdenticalToInProcessService)
         << error;
     EXPECT_EQ(fetched.hits, stats.hits);
     EXPECT_EQ(fetched.netConnections, 1u);
+    server.stop();
+}
+
+TEST(NetServer, MetricsVerbRoundTripsAndLintsClean)
+{
+    ServeOptions so;
+    so.workers = 2;
+    CompileService service(so);
+    NetServer server(service);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    NetClient client;
+    ASSERT_TRUE(
+        client.connect("127.0.0.1", server.port(), 5000, error))
+        << error;
+
+    const CompileRequest req = kernelRequest("fir8");
+    CompileResult cold, warm;
+    ASSERT_TRUE(client.compile(req, cold, error)) << error;
+    ASSERT_TRUE(client.compile(req, warm, error)) << error;
+
+    // The wire snapshot parses back through metricsFromText and
+    // is canonical: re-emitting it is byte-identical.
+    std::string text;
+    ASSERT_TRUE(client.fetchMetrics(text, error)) << error;
+    obs::MetricsSnapshot snap;
+    ASSERT_TRUE(obs::metricsFromText(text, snap, error)) << error;
+    EXPECT_EQ(obs::metricsToText(snap), text);
+
+    const auto *requests = snap.findCounter("serve.requests");
+    ASSERT_NE(requests, nullptr);
+    EXPECT_EQ(requests->value, 2u);
+    const auto *hits = snap.findCounter("serve.hits");
+    ASSERT_NE(hits, nullptr);
+    EXPECT_EQ(hits->value, 1u);
+    const auto *conns = snap.findCounter("net.connections");
+    ASSERT_NE(conns, nullptr);
+    EXPECT_GE(conns->value, 1u);
+    const auto *latency = snap.findHistogram("serve.latency_ms");
+    ASSERT_NE(latency, nullptr);
+    EXPECT_EQ(latency->hist.count, 2u);
+
+    // And it satisfies its own lint.
+    DiagnosticSink sink;
+    lintMetricsText(text, "wire.metrics", sink);
+    EXPECT_TRUE(sink.empty()) << sink.renderText();
+
+    // The trace verb answers too (empty export: tracing is not
+    // armed here), and the export parses.
+    std::string traceJson;
+    ASSERT_TRUE(client.fetchTrace(traceJson, error)) << error;
+    std::vector<std::vector<obs::TraceSpan>> traces;
+    ASSERT_TRUE(obs::tracesFromJson(traceJson, traces, error))
+        << error;
+    server.stop();
+}
+
+TEST(NetServer, ConcurrentStatsAndMetricsPollingUnderLoad)
+{
+    // Satellite of the lock-free stats refactor: snapshots are
+    // plain atomic reads now, so clients hammering the stats and
+    // metrics verbs while compile load runs must see consistent
+    // text (this test is the TSan witness for the hot path).
+    ServeOptions so;
+    so.workers = 2;
+    CompileService service(so);
+    NetServer server(service);
+    std::string error;
+    ASSERT_TRUE(server.start(error)) << error;
+    const int port = server.port();
+
+    const char *kernels[] = {"fir8", "iir2", "dot_product"};
+    std::atomic<bool> done{false};
+    std::atomic<int> compileFailures{0};
+    std::atomic<int> pollFailures{0};
+
+    std::vector<std::thread> compilers;
+    for (int c = 0; c < 3; ++c) {
+        compilers.emplace_back([&, c] {
+            NetClient nc;
+            std::string err;
+            if (!nc.connect("127.0.0.1", port, 5000, err)) {
+                compileFailures.fetch_add(1);
+                return;
+            }
+            for (int i = 0; i < 15; ++i) {
+                CompileResult out;
+                if (!nc.compile(kernelRequest(kernels[(c + i) % 3]),
+                                out, err) ||
+                    !out.ok)
+                    compileFailures.fetch_add(1);
+            }
+        });
+    }
+    std::vector<std::thread> pollers;
+    for (int p = 0; p < 2; ++p) {
+        pollers.emplace_back([&] {
+            NetClient nc;
+            std::string err;
+            if (!nc.connect("127.0.0.1", port, 5000, err)) {
+                pollFailures.fetch_add(1);
+                return;
+            }
+            while (!done.load(std::memory_order_relaxed)) {
+                std::string text;
+                ServeStats s;
+                if (!nc.fetchStats(text, err) ||
+                    !serveStatsFromText(text, s, err)) {
+                    pollFailures.fetch_add(1);
+                    break;
+                }
+                obs::MetricsSnapshot snap;
+                if (!nc.fetchMetrics(text, err) ||
+                    !obs::metricsFromText(text, snap, err)) {
+                    pollFailures.fetch_add(1);
+                    break;
+                }
+            }
+        });
+    }
+    for (std::thread &t : compilers)
+        t.join();
+    done.store(true);
+    for (std::thread &t : pollers)
+        t.join();
+
+    EXPECT_EQ(compileFailures.load(), 0);
+    EXPECT_EQ(pollFailures.load(), 0);
+
+    // The final snapshot both parses and satisfies the counter
+    // identities the lint audits.
+    DiagnosticSink sink;
+    lintMetricsText(obs::metricsToText(server.metrics()),
+                    "hammer.metrics", sink);
+    EXPECT_TRUE(sink.empty()) << sink.renderText();
+    const ServeStats stats = server.stats();
+    EXPECT_EQ(stats.requests, 45u);
+    EXPECT_EQ(stats.latencySamples, 45u);
     server.stop();
 }
 
